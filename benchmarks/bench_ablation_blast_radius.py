@@ -1,0 +1,62 @@
+"""Ablation: blast radius 1 vs 2 for preventive refreshes.
+
+The paper configures all mitigations with a blast radius of 2 (refresh the
+four rows within +/- 2 of an aggressor) to cover Half-Double (§9.1).  This
+ablation quantifies the performance cost of that safety margin: +/- 1
+refreshes half the rows per trigger and is correspondingly cheaper — the
+design point pre-Half-Double mechanisms used.
+"""
+
+from bench_util import run_once, save_result
+
+from repro.mitigations.base import Action, MitigationMechanism, PreventiveRefresh
+from repro.mitigations.graphene import Graphene
+from repro.sim.config import SystemConfig
+from repro.sim.system import MemorySystem
+from repro.workloads.suites import workload_by_name
+
+
+class _NarrowBlastGraphene(Graphene):
+    """Graphene variant refreshing only the +/- 1 neighbors."""
+
+    name = "Graphene-r1"
+
+    def on_activation(self, flat_bank: int, row: int,
+                      now_ns: float) -> list[Action]:
+        actions = super().on_activation(flat_bank, row, now_ns)
+        return [PreventiveRefresh(a.flat_bank, a.aggressor_row,
+                                  victim_offsets=(-1, 1))
+                if isinstance(a, PreventiveRefresh) else a
+                for a in actions]
+
+
+def _run(mechanism: MitigationMechanism):
+    config = SystemConfig(num_cores=1)
+    trace = workload_by_name("ycsb.a", requests=4_000)
+    result = MemorySystem(config, [trace], mitigation=mechanism).run()
+    return {
+        "ipc": result.mean_ipc,
+        "prev_rows": result.controller_stats.preventive_refresh_rows,
+        "prev_fraction": result.preventive_busy_fraction,
+    }
+
+
+def _collect():
+    return {
+        "radius 2 (paper)": _run(Graphene(32)),
+        "radius 1": _run(_NarrowBlastGraphene(32)),
+    }
+
+
+def bench_ablation_blast_radius(benchmark):
+    data = run_once(benchmark, _collect)
+    lines = [f"{label}: ipc={m['ipc']:.4f} rows={m['prev_rows']} "
+             f"busy={m['prev_fraction']:.4f}"
+             for label, m in data.items()]
+    save_result("ablation_blast_radius", "\n".join(lines))
+    wide = data["radius 2 (paper)"]
+    narrow = data["radius 1"]
+    # Half the victims per trigger -> about half the refreshed rows and a
+    # lower preventive-busy fraction.
+    assert narrow["prev_rows"] <= wide["prev_rows"] * 0.6 + 4
+    assert narrow["prev_fraction"] <= wide["prev_fraction"] + 1e-9

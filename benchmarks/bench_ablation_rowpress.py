@@ -1,0 +1,42 @@
+"""Ablation: RowPress-aware configuration (§2.2 background).
+
+Combined RowHammer + RowPress patterns lower the effective threshold a
+mitigation must cover; the paper notes this is "practically equivalent to
+configuring them for sub-1K N_RH values".  This ablation sweeps aggressor
+on-times and reports the equivalent N_RH for the catalog's reference
+modules — the thresholds PaCRAM-adjusted mitigations would face.
+"""
+
+from bench_util import run_once, save_result
+
+from repro.dram.catalog import PACRAM_REFERENCE_MODULES, module_spec
+from repro.dram.rowpress import equivalent_nrh, press_amplification
+
+ON_TIMES_NS = (36.0, 360.0, 3_600.0, 7_800.0, 30_000.0)
+
+
+def _collect():
+    out = {}
+    for module_id in sorted(set(PACRAM_REFERENCE_MODULES.values())):
+        nominal = module_spec(module_id).nominal_nrh
+        out[module_id] = {
+            t_on: equivalent_nrh(nominal, t_on) for t_on in ON_TIMES_NS}
+    return out
+
+
+def bench_ablation_rowpress(benchmark):
+    data = run_once(benchmark, _collect)
+    lines = []
+    for module_id, series in data.items():
+        for t_on, nrh in series.items():
+            amp = press_amplification(t_on)
+            lines.append(f"{module_id}: t_on={t_on:>8.0f}ns "
+                         f"amplification={amp:5.2f}x "
+                         f"equivalent N_RH={nrh:8.0f}")
+    save_result("ablation_rowpress", "\n".join(lines))
+    for module_id, series in data.items():
+        # Minimum on-time = plain hammering; one-tREFI on-time pushes the
+        # reference modules to (near) sub-1K equivalent thresholds.
+        nominal = module_spec(module_id).nominal_nrh
+        assert series[36.0] == nominal
+        assert series[7_800.0] < nominal / 5

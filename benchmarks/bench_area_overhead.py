@@ -1,0 +1,41 @@
+"""§8.4 hardware cost: PaCRAM's FR vector vs the mitigations' own area.
+
+Paper numbers: 0.0069 mm^2 and 8 KB per 64K-row bank; 0.09 % of a high-end
+Xeon for dual-rank x 16 banks; Graphene alone reaches 10.38 mm^2 (4.45 % of
+the Xeon) at N_RH = 32, so PaCRAM adds only ~2 % to Graphene's area.
+"""
+
+import pytest
+
+from bench_util import run_once, save_result
+
+from repro.core.area import (
+    fr_area_fraction_of_xeon,
+    fr_area_mm2,
+    fr_storage_bytes,
+)
+from repro.mitigations import make_mitigation
+
+
+def _collect() -> dict[str, float]:
+    out = {
+        "pacram_mm2": fr_area_mm2(32),
+        "pacram_xeon_fraction": fr_area_fraction_of_xeon(32),
+        "pacram_bytes_per_bank": fr_storage_bytes(65_536),
+    }
+    for name in ("PARA", "RFM", "PRAC", "Hydra", "Graphene"):
+        for nrh in (1024, 32):
+            out[f"{name}@{nrh}_mm2"] = make_mitigation(name, nrh).area_mm2(32)
+    return out
+
+
+def bench_area(benchmark):
+    data = run_once(benchmark, _collect)
+    text = "\n".join(f"{key}: {value:.6g}" for key, value in data.items())
+    save_result("area_overhead", text)
+    assert data["pacram_xeon_fraction"] == pytest.approx(0.0009, rel=0.05)
+    assert data["pacram_bytes_per_bank"] == 8192
+    assert data["Graphene@32_mm2"] == pytest.approx(10.38, rel=0.08)
+    # PaCRAM adds ~2 % on top of Graphene at N_RH = 32 (§9.2).
+    assert data["pacram_mm2"] / data["Graphene@32_mm2"] == pytest.approx(
+        0.02, abs=0.01)

@@ -1,0 +1,26 @@
+"""Fig. 3: fraction of execution time spent on preventive refreshes.
+
+Paper shape: every mitigation's overhead grows as N_RH shrinks; RFM is the
+worst (up to 43 %), PARA next (up to ~11 %); Graphene and Hydra spend the
+least time on preventive refreshes.
+"""
+
+from bench_util import format_series, run_once, save_result
+
+from repro.analysis.figures import fig3_preventive_overhead
+
+
+def bench_fig3(benchmark):
+    data = run_once(
+        benchmark, fig3_preventive_overhead,
+        nrh_values=(1024, 256, 64, 32), num_mixes=2, requests=2_500)
+    lines = []
+    for mitigation, series in data.items():
+        lines.append(f"[{mitigation}]")
+        lines.append(format_series(series, key_label="nrh"))
+    text = "\n".join(lines)
+    save_result("fig03_prevref_overhead", text)
+    # Shape checks: overhead grows as N_RH shrinks; RFM worst at N_RH = 32.
+    for mitigation in ("PARA", "RFM"):
+        assert data[mitigation][32]["mean"] > data[mitigation][1024]["mean"]
+    assert data["RFM"][32]["mean"] >= data["Graphene"][32]["mean"]

@@ -1,0 +1,32 @@
+"""Fig. 4: motivational time/energy analysis for modules H5 and S6.
+
+Paper shape: total time cost has an inflection point (43 % / 28 % reduction
+for the H / S modules); total energy cost likewise (40 % / 19 %).
+"""
+
+from bench_util import format_series, run_once, save_result
+
+from repro.analysis.figures import fig4_inflection, fig4_motivation
+
+
+def bench_fig4(benchmark):
+    data = run_once(benchmark, fig4_motivation, ("H5", "S6"))
+    lines = []
+    for module_id, curves in data.items():
+        lines.append(f"[{module_id}]")
+        for curve_name, series in curves.items():
+            lines.append(f"  {curve_name}: "
+                         + format_series(series, key_label="f"))
+        time_factor, time_value = fig4_inflection(curves, "time")
+        energy_factor, energy_value = fig4_inflection(curves, "energy")
+        lines.append(f"  time inflection at {time_factor} "
+                     f"(cost {time_value:.3f})")
+        lines.append(f"  energy inflection at {energy_factor} "
+                     f"(cost {energy_value:.3f})")
+    save_result("fig04_motivation", "\n".join(lines))
+    # Shape: the time-cost inflection sits at a reduced latency (< 1.0) and
+    # the cost there is below the nominal cost of 1.0.
+    for module_id in ("H5", "S6"):
+        factor, value = fig4_inflection(data[module_id], "time")
+        assert factor < 1.0
+        assert value < 1.0

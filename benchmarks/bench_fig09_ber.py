@@ -1,0 +1,25 @@
+"""Fig. 9: normalized RowHammer BER vs charge-restoration latency.
+
+Paper shape: BER grows superlinearly as restoration weakens for Mfrs. H and
+S; < 3 % growth at 0.64 (H), 0.18 (M), and 0.81 (S) tRAS.
+"""
+
+from bench_util import run_once, save_result
+
+from repro.analysis.figures import fig9_ber_boxes
+
+MODULES = ("H5", "H7", "M2", "M5", "S1", "S6")
+
+
+def bench_fig9(benchmark):
+    boxes = run_once(benchmark, fig9_ber_boxes, MODULES, per_region=12)
+    lines = []
+    for vendor, per_factor in boxes.items():
+        lines.append(f"[Mfr. {vendor}]")
+        for factor, stats in sorted(per_factor.items(), reverse=True):
+            lines.append(f"  f={factor}: {stats.row()}")
+    save_result("fig09_ber", "\n".join(lines))
+    # Takeaway 3: BER at the vendor's BER-safe latency is ~unchanged; the
+    # deepest reductions blow it up for S.
+    assert boxes["M"][0.18].median <= 1.2
+    assert boxes["S"][0.27].median > boxes["S"][1.00].median

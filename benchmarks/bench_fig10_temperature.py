@@ -1,0 +1,29 @@
+"""Fig. 10: combined temperature x latency effect on N_RH.
+
+Paper shape (Takeaway 4): temperature does not significantly change the
+effect of reduced restoration latency (< 0.31 % N_RH shift 50 -> 80 C).
+"""
+
+from bench_util import run_once, save_result
+
+from repro.analysis.figures import fig10_temperature
+
+
+def bench_fig10(benchmark):
+    data = run_once(benchmark, fig10_temperature, ("H5", "M2", "S6"),
+                    per_region=8)
+    lines = []
+    for vendor, per_temp in data.items():
+        lines.append(f"[Mfr. {vendor}]")
+        for temperature, per_factor in per_temp.items():
+            for factor, stats in sorted(per_factor.items(), reverse=True):
+                lines.append(f"  T={temperature:.0f}C f={factor}: {stats.row()}")
+    save_result("fig10_temperature", "\n".join(lines))
+    # Takeaway 4: medians across temperatures agree within 2 %.
+    for vendor, per_temp in data.items():
+        for factor in (0.64, 0.36):
+            medians = [per_factor[factor].median
+                       for per_factor in per_temp.values()
+                       if factor in per_factor]
+            if len(medians) >= 2:
+                assert max(medians) - min(medians) < 0.05, (vendor, factor)

@@ -1,0 +1,29 @@
+"""Fig. 11: N_RH vs latency for 1/2/4/8 consecutive partial restorations.
+
+Paper shape: H and M unaffected by the restoration count; S trends downward
+with more restorations; repeating a 0.27-tRAS restoration causes retention
+bitflips for S.
+"""
+
+from bench_util import run_once, save_result
+
+from repro.analysis.figures import fig11_repeated_pcr
+
+
+def bench_fig11(benchmark):
+    data = run_once(benchmark, fig11_repeated_pcr, ("H5", "M2", "S6"),
+                    per_region=8)
+    lines = []
+    for vendor, per_factor in data.items():
+        lines.append(f"[Mfr. {vendor}]")
+        for factor, per_npr in sorted(per_factor.items(), reverse=True):
+            for n_pr, stats in sorted(per_npr.items()):
+                lines.append(f"  f={factor} n_pr={n_pr}: {stats.row()}")
+    save_result("fig11_repeated_pcr", "\n".join(lines))
+    # S trends downward with restorations at 0.36; M does not.
+    s_series = data["S"][0.36]
+    assert s_series[8].median <= s_series[1].median + 1e-9
+    m_series = data["M"][0.36]
+    assert abs(m_series[8].median - m_series[1].median) < 0.05
+    # S at 0.27 with repeats -> retention bitflips (minimum hits zero).
+    assert data["S"][0.27][2].minimum == 0.0

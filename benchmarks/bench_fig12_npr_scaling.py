@@ -1,0 +1,23 @@
+"""Fig. 12: N_RH vs up to 15K consecutive partial restorations at 0.36 tRAS.
+
+Paper shape: H7 and M2 stay flat to 15K; S6 degrades and shows retention
+bitflips (N_RH = 0) at ~2.5K consecutive restorations.
+"""
+
+from bench_util import format_series, run_once, save_result
+
+from repro.analysis.figures import fig12_npr_scaling
+
+
+def bench_fig12(benchmark):
+    data = run_once(benchmark, fig12_npr_scaling, per_region=6)
+    lines = [f"[{module}] " + format_series(series, key_label="n_pr")
+             for module, series in data.items()]
+    save_result("fig12_npr_scaling", "\n".join(lines))
+    # H7/M2 flat to 15K (within measurement resolution).
+    for module in ("H7", "M2"):
+        series = data[module]
+        assert series[15_000] >= series[1] * 0.8, module
+    # S6: N_RH = 0 at 2.5K restorations (retention bitflips), fine at 1K.
+    assert data["S6"][1_000] > 0
+    assert data["S6"][2_500] == 0

@@ -1,0 +1,30 @@
+"""Fig. 14: fraction of rows with data-retention failures.
+
+Paper shape: H/M retain 256/512 ms even after x10 restorations at 0.27
+tRAS; S rows start failing 256 ms at 0.27 tRAS, ~472x more with x10
+restorations than x1.
+"""
+
+from bench_util import run_once, save_result
+
+from repro.analysis.figures import fig14_retention
+from repro.units import MS
+
+
+def bench_fig14(benchmark):
+    data = run_once(benchmark, fig14_retention)
+    lines = []
+    for module, series in data.items():
+        for (factor, n_pr, wait), fraction in sorted(series.items(),
+                                                     reverse=True):
+            if fraction > 0 or wait in (64 * MS, 256 * MS):
+                lines.append(
+                    f"[{module}] f={factor} n={n_pr} "
+                    f"t={wait / MS:.0f}ms: {fraction:.2e}")
+    save_result("fig14_retention", "\n".join(lines))
+    s6 = data["S6"]
+    assert s6[(0.36, 10, 256 * MS)] == 0.0  # obs. 4
+    assert s6[(0.27, 10, 256 * MS)] > 0.0  # obs. 5
+    assert s6[(0.27, 10, 256 * MS)] > s6[(0.27, 1, 256 * MS)]  # obs. 6
+    assert data["M2"][(0.27, 10, 512 * MS)] == 0.0  # obs. 1/3
+    assert data["H5"][(0.27, 10, 256 * MS)] == 0.0  # obs. 1

@@ -1,0 +1,57 @@
+"""Fig. 17: system performance of PaCRAM vs N_RH.
+
+Paper shape: PaCRAM-H improves single-core performance with every
+mitigation; the gain grows as N_RH shrinks; high-performance-overhead
+mitigations (PARA, RFM) benefit most.
+"""
+
+from bench_util import run_once, save_result
+
+from repro.analysis.figures import (
+    fig17_18_performance_energy,
+    fig17_multicore_weighted_speedup,
+)
+
+
+def bench_fig17(benchmark):
+    data = run_once(
+        benchmark, fig17_18_performance_energy,
+        mitigations=("PARA", "RFM", "Graphene"), vendors=("H",),
+        nrh_values=(1024, 64, 32), requests=2_000,
+        workloads=("spec06.mcf", "ycsb.a"))
+    performance = data["performance"]
+    lines = []
+    for (mitigation, label), series in performance.items():
+        row = " ".join(f"nrh={n}:{v:.4f}" for n, v in series.items())
+        lines.append(f"[{mitigation} {label}] {row}")
+    save_result("fig17_performance", "\n".join(lines))
+    for mitigation in ("PARA", "RFM"):
+        base = performance[(mitigation, "NoPaCRAM")]
+        fast = performance[(mitigation, "PaCRAM-H")]
+        # PaCRAM-H improves performance at low N_RH...
+        assert fast[32] > base[32]
+        # ...and the improvement grows as N_RH shrinks (Fig. 17 obs. 2).
+        assert (fast[32] / base[32]) >= (fast[1024] / base[1024]) - 0.01
+    # High-performance-overhead mitigations gain more than Graphene.
+    para_gain = (performance[("PARA", "PaCRAM-H")][32]
+                 / performance[("PARA", "NoPaCRAM")][32])
+    graphene_gain = (performance[("Graphene", "PaCRAM-H")][32]
+                     / performance[("Graphene", "NoPaCRAM")][32])
+    assert para_gain >= graphene_gain - 0.02
+
+
+def bench_fig17_multicore(benchmark):
+    """Fig. 17 right subplot: 4-core weighted speedup of PaCRAM-H."""
+    data = run_once(benchmark, fig17_multicore_weighted_speedup,
+                    mitigations=("RFM",), nrh_values=(1024, 32),
+                    num_mixes=2, requests=1_500)
+    lines = []
+    for (mitigation, label), series in data.items():
+        row = " ".join(f"nrh={n}:{v:.4f}" for n, v in series.items())
+        lines.append(f"[{mitigation} {label} 4-core] {row}")
+    save_result("fig17_multicore", "\n".join(lines))
+    series = data[("RFM", "PaCRAM-H")]
+    # PaCRAM improves multiprogrammed performance at low N_RH (paper:
+    # +10.84 % with RFM at N_RH = 32), and more than at high N_RH.
+    assert series[32] > 1.0
+    assert series[32] >= series[1024] - 0.01

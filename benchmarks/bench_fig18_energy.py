@@ -1,0 +1,31 @@
+"""Fig. 18: DRAM energy of PaCRAM vs N_RH.
+
+Paper shape: PaCRAM-H and -M reduce DRAM energy with every mitigation; all
+configurations consume more energy as N_RH shrinks.
+"""
+
+from bench_util import run_once, save_result
+
+from repro.analysis.figures import fig17_18_performance_energy
+
+
+def bench_fig18(benchmark):
+    data = run_once(
+        benchmark, fig17_18_performance_energy,
+        mitigations=("PARA", "RFM"), vendors=("H", "M"),
+        nrh_values=(1024, 32), requests=2_000,
+        workloads=("spec06.mcf", "ycsb.a"))
+    energy = data["energy"]
+    lines = []
+    for (mitigation, label), series in energy.items():
+        row = " ".join(f"nrh={n}:{v:.4f}" for n, v in series.items())
+        lines.append(f"[{mitigation} {label}] {row}")
+    save_result("fig18_energy", "\n".join(lines))
+    for mitigation in ("PARA", "RFM"):
+        for vendor in ("H", "M"):
+            base = energy[(mitigation, "NoPaCRAM")]
+            fast = energy[(mitigation, f"PaCRAM-{vendor}")]
+            assert fast[32] < base[32], (mitigation, vendor)
+        # Fig. 18 obs. 3: energy grows as N_RH shrinks.
+        assert energy[(mitigation, "NoPaCRAM")][32] >= \
+            energy[(mitigation, "NoPaCRAM")][1024]

@@ -1,0 +1,31 @@
+"""Fig. 19 (Appendix B): periodic-refresh latency reduction vs chip density.
+
+Paper shape: reduced periodic-refresh latency improves performance and
+energy for every density; the refresh overhead grows with chip density, so
+the improvement is largest for the biggest chips.
+"""
+
+from bench_util import run_once, save_result
+
+from repro.analysis.figures import fig19_periodic
+
+
+def bench_fig19(benchmark):
+    data = run_once(benchmark, fig19_periodic,
+                    densities_gbit=(8, 64, 512),
+                    latency_factors=(1.00, 0.36), requests=2_000)
+    lines = []
+    for density, per_factor in data.items():
+        for factor, metrics in per_factor.items():
+            lines.append(
+                f"density={density}Gb f={factor}: "
+                f"perf={metrics['performance']:.4f} "
+                f"energy={metrics['energy']:.4f}")
+    save_result("fig19_periodic", "\n".join(lines))
+    for density in (64, 512):
+        nominal = data[density][1.00]
+        reduced = data[density][0.36]
+        assert reduced["performance"] >= nominal["performance"]
+        assert reduced["energy"] <= nominal["energy"] * 1.001
+    # Refresh overhead (vs the no-refresh ideal) grows with density.
+    assert data[512][1.00]["performance"] <= data[8][1.00]["performance"]

@@ -1,0 +1,19 @@
+"""§10 profiling overhead: 80 s batches, 127 KB/s, 68.8 minutes per bank."""
+
+import pytest
+
+from bench_util import run_once, save_result
+
+from repro.core.profiling import profiling_cost
+
+
+def bench_profiling(benchmark):
+    cost = run_once(benchmark, profiling_cost)
+    text = (f"batch: {cost.batch_seconds:.1f} s\n"
+            f"throughput: {cost.throughput_bytes_per_s / 1024:.1f} KB/s\n"
+            f"bank: {cost.bank_minutes:.1f} min\n"
+            f"blocked: {cost.blocked_bytes / 2**20:.2f} MiB")
+    save_result("profiling_cost", text)
+    assert cost.batch_seconds == pytest.approx(80.0)
+    assert cost.throughput_bytes_per_s == pytest.approx(127 * 1024, rel=0.01)
+    assert cost.bank_minutes == pytest.approx(68.8, abs=0.1)

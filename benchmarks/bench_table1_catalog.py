@@ -1,0 +1,11 @@
+"""Table 1: the tested DDR4 DRAM chip inventory (388 chips, 30 modules)."""
+
+from bench_util import run_once, save_result
+
+from repro.analysis.tables import render_table1
+
+
+def bench_table1(benchmark):
+    text = run_once(benchmark, render_table1)
+    assert "Total chips: 388" in text
+    save_result("table1", text)

@@ -1,0 +1,49 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates the data behind one of the paper's tables or
+figures at laptop scale, prints the series (visible with ``pytest -s``), and
+writes them to ``bench_results/<experiment>.txt`` so the tee'd benchmark log
+and the series both survive a run.  EXPERIMENTS.md records how each measured
+shape compares with the paper.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "bench_results"
+
+
+def save_result(experiment: str, text: str) -> None:
+    """Print a result block and persist it under bench_results/."""
+    banner = f"===== {experiment} ====="
+    print(f"\n{banner}\n{text}\n")
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{experiment}.txt").write_text(text + "\n")
+
+
+def format_series(series: dict, *, key_label: str = "x",
+                  value_format: str = "{:.4f}") -> str:
+    """Render a {x: value} or {x: dict} series as aligned rows."""
+    lines = []
+    for key in series:
+        value = series[key]
+        if isinstance(value, dict):
+            parts = " ".join(f"{k}={_fmt(v, value_format)}"
+                             for k, v in value.items())
+            lines.append(f"{key_label}={key}: {parts}")
+        else:
+            lines.append(f"{key_label}={key}: {_fmt(value, value_format)}")
+    return "\n".join(lines)
+
+
+def _fmt(value, value_format: str) -> str:
+    if isinstance(value, float):
+        return value_format.format(value)
+    return str(value)
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run an expensive experiment exactly once under pytest-benchmark."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1)

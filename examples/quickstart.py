@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Quickstart: characterize a module, configure PaCRAM, measure the speedup.
+
+Walks the library's three layers end to end in under a minute:
+
+1. run the paper's Algorithm 1 on a simulated DDR4 module (S6, the
+   PaCRAM-S reference) to measure how reduced charge-restoration latency
+   changes its RowHammer threshold;
+2. derive a PaCRAM operating point from the measurements (and compare it
+   with the paper's published Table-4 configuration);
+3. simulate a DDR5 system running a memory-intensive workload with the
+   PARA mitigation, with and without PaCRAM.
+"""
+
+from repro import (
+    MemorySystem,
+    PaCRAM,
+    PaCRAMConfig,
+    SystemConfig,
+    characterize_module,
+    make_mitigation,
+    workload_by_name,
+)
+from repro.units import format_time_ns
+
+
+def main() -> None:
+    # ------------------------------------------------------------------
+    # 1. Characterize module S6 (Algorithm 1 at laptop scale).
+    # ------------------------------------------------------------------
+    print("== Characterizing module S6 (48 rows, 4 latencies) ==")
+    result = characterize_module(
+        "S6", tras_factors=(1.00, 0.64, 0.36, 0.27), per_region=16)
+    nominal = result.lowest_nrh(1.00)
+    print(f"lowest N_RH at nominal tRAS: {nominal}")
+    for factor in (0.64, 0.36, 0.27):
+        lowest = result.lowest_nrh(factor)
+        print(f"lowest N_RH at {factor:.2f} x tRAS: {lowest} "
+              f"({lowest / nominal:.0%} of nominal)")
+
+    # ------------------------------------------------------------------
+    # 2. Configure PaCRAM from our own measurements and from the paper.
+    # ------------------------------------------------------------------
+    print("\n== PaCRAM operating point (0.36 x tRAS) ==")
+    own = PaCRAMConfig.from_characterization(result, 0.36, npcr=2_000)
+    published = PaCRAMConfig.from_catalog("S6", 0.36)
+    print(f"measured : ratio={own.nrh_reduction_ratio:.2f} "
+          f"t_FCRI={format_time_ns(own.tfcri_ns)}")
+    print(f"published: ratio={published.nrh_reduction_ratio:.2f} "
+          f"t_FCRI={format_time_ns(published.tfcri_ns)} (paper: 374ms)")
+
+    # ------------------------------------------------------------------
+    # 3. System simulation: PARA at N_RH = 64, with and without PaCRAM.
+    # ------------------------------------------------------------------
+    print("\n== System impact (PARA, N_RH = 64, ycsb.a) ==")
+    config = SystemConfig(num_cores=1)
+    trace = workload_by_name("ycsb.a", requests=6_000)
+
+    baseline = MemorySystem(
+        config, [trace], mitigation=make_mitigation("PARA", 64)).run()
+
+    pacram_h = PaCRAMConfig.from_catalog("H5", 0.36)  # PaCRAM-H
+    policy = PaCRAM(config, pacram_h)
+    mitigation = make_mitigation("PARA", pacram_h.scaled_nrh(64))
+    accelerated = MemorySystem(
+        config, [trace], mitigation=mitigation, policy=policy).run()
+
+    speedup = accelerated.mean_ipc / baseline.mean_ipc - 1
+    savings = 1 - accelerated.energy_nj / baseline.energy_nj
+    print(f"IPC    : {baseline.mean_ipc:.3f} -> {accelerated.mean_ipc:.3f} "
+          f"({speedup:+.1%})")
+    print(f"energy : {baseline.energy_nj / 1e6:.3f} mJ -> "
+          f"{accelerated.energy_nj / 1e6:.3f} mJ ({-savings:+.1%})")
+    print(f"partial refreshes issued: {policy.partial_refreshes}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""RowHammer attack demonstration on the simulated testing platform.
+
+Reproduces, on the software DRAM Bender, the attack primitives the paper's
+threat model builds on — against a *simulated* DDR4 module, for education
+and for validating mitigation behavior:
+
+1. double-sided RowHammer: find a victim's N_RH and flip its cells;
+2. the Half-Double access pattern (distance-2 aggressor) on a Mfr. H part;
+3. the defense: a preventive refresh (even a *partial* one at the module's
+   safe latency) heals the accumulated disturbance;
+4. the PaCRAM caveat: a partial refresh below the safe latency lowers the
+   victim's threshold — exactly why PaCRAM must scale the mitigation's
+   configured N_RH (§8.2).
+"""
+
+from repro import DRAMBenderHost
+from repro.characterization.algorithm1 import measure_row, CharacterizationConfig
+from repro.characterization.halfdouble import perform_halfdouble
+from repro.dram.disturbance import DataPattern
+from repro.units import MS
+
+FAST = CharacterizationConfig(iterations=1)
+BANK = 0
+
+
+def hammer(host, victim: int, count: int, restore_first_ns: float | None = None,
+           n_pr: int = 1) -> int:
+    """One double-sided hammering run; returns the victim's bitflip count."""
+    module = host.module
+    aggressors = module.mapping.neighbors(victim, 1)
+    program = host.new_program()
+    program.init_rows(BANK, victim, aggressors, DataPattern.ROW_STRIPE)
+    if restore_first_ns is not None:
+        program.partial_restoration(BANK, victim, restore_first_ns, n_pr)
+    program.hammer_doublesided(BANK, aggressors, count)
+    program.sleep_until(64 * MS)
+    program.check_bitflips(BANK, victim, key="victim")
+    return host.run(program).flips("victim")
+
+
+def main() -> None:
+    host = DRAMBenderHost("S6")  # a Samsung 8 Gb part from the catalog
+    victim = 1000
+
+    print("== 1. Double-sided RowHammer ==")
+    profile = measure_row(host, BANK, victim, config=FAST)
+    print(f"victim row {victim}: N_RH = {profile.nrh} "
+          f"(worst-case pattern {profile.wcdp})")
+    flips = hammer(host, victim, 100_000)
+    print(f"hammering 100K times per aggressor flips {flips} cells "
+          f"(BER {flips / 65536:.2e})")
+
+    print("\n== 2. Half-Double on a Mfr. H module ==")
+    host_h = DRAMBenderHost("H7")
+    hd_hits = 0
+    tested = 0
+    for row in range(100, 300):
+        tested += 1
+        if perform_halfdouble(host_h, BANK, row, tras_red_ns=33.0, n_pr=1):
+            hd_hits += 1
+    print(f"H7: {hd_hits}/{tested} rows flip under Half-Double "
+          f"(60K far + 300 near activations — far below N_RH!)")
+
+    print("\n== 3. Preventive refresh as the defense ==")
+    module = host.module
+    aggressors = module.mapping.neighbors(victim, 1)
+    program = host.new_program()
+    program.init_rows(BANK, victim, aggressors, DataPattern.ROW_STRIPE)
+    program.hammer_doublesided(BANK, aggressors, 50_000)
+    # The mitigation mechanism fires a preventive refresh -- at the safe
+    # PARTIAL latency (0.36 x tRAS for this module) -- then hammering resumes.
+    program.partial_restoration(BANK, victim, 33.0 * 0.36, 1)
+    program.hammer_doublesided(BANK, aggressors, 6_000)
+    program.sleep_until(64 * MS)
+    program.check_bitflips(BANK, victim, key="victim")
+    flips = host.run(program).flips("victim")
+    print(f"50K hammers + partial preventive refresh + 6K hammers: "
+          f"{flips} bitflips (refresh healed the first 50K)")
+
+    print("\n== 4. The PaCRAM caveat: reduced latency lowers N_RH ==")
+    weak = measure_row(host, BANK, victim, tras_red_ns=33.0 * 0.27,
+                       config=FAST)
+    print(f"after a 0.27 x tRAS restoration the same row's N_RH drops "
+          f"{profile.nrh} -> {weak.nrh} "
+          f"({weak.nrh / profile.nrh:.0%}) — PaCRAM therefore configures "
+          f"the mitigation for the reduced threshold (§8.2)")
+
+
+if __name__ == "__main__":
+    main()

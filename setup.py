@@ -1,0 +1,4 @@
+"""Legacy setup shim: enables `pip install -e .` without network access."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,60 @@
+"""repro: a full-stack reproduction of *Understanding RowHammer Under
+Reduced Refresh Latency* (PaCRAM, HPCA 2025).
+
+The library has three layers:
+
+1. **Characterization stack** — a behavioral DDR4 device model
+   (:mod:`repro.dram`), a software DRAM-Bender testing platform
+   (:mod:`repro.bender`), and the paper's Algorithm-1 methodology
+   (:mod:`repro.characterization`).
+2. **System stack** — a DDR5 memory-system simulator (:mod:`repro.sim`),
+   five RowHammer mitigation mechanisms (:mod:`repro.mitigations`), and
+   PaCRAM itself (:mod:`repro.core`).
+3. **Evaluation** — workload suites (:mod:`repro.workloads`) and the
+   per-figure/table experiment builders (:mod:`repro.analysis`).
+
+Quickstart::
+
+    from repro import characterize_module, PaCRAMConfig
+
+    result = characterize_module("S6", tras_factors=(1.0, 0.36), per_region=16)
+    print(result.lowest_nrh(0.36))              # measured N_RH at 0.36 tRAS
+    config = PaCRAMConfig.from_catalog("S6", 0.36)
+    print(config.tfcri_ns)                      # 374 ms (Table 4)
+"""
+
+from repro.bender import DRAMBenderHost
+from repro.characterization import (
+    ModuleCharacterization,
+    characterize_module,
+    measure_row,
+)
+from repro.core import PaCRAM, PaCRAMConfig, PeriodicPaCRAM
+from repro.dram import DRAMModule, Manufacturer, all_module_ids, module_spec
+from repro.mitigations import make_mitigation
+from repro.sim import MemorySystem, SimulationResult, SystemConfig
+from repro.workloads import multicore_mixes, single_core_suite, workload_by_name
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DRAMBenderHost",
+    "ModuleCharacterization",
+    "characterize_module",
+    "measure_row",
+    "PaCRAM",
+    "PaCRAMConfig",
+    "PeriodicPaCRAM",
+    "DRAMModule",
+    "Manufacturer",
+    "all_module_ids",
+    "module_spec",
+    "make_mitigation",
+    "MemorySystem",
+    "SimulationResult",
+    "SystemConfig",
+    "multicore_mixes",
+    "single_core_suite",
+    "workload_by_name",
+    "__version__",
+]

@@ -1,0 +1,105 @@
+"""Registry of every reproduced experiment, indexed by paper identifier.
+
+Each entry maps a table/figure id to its description and the callable that
+regenerates it (a figure builder or table renderer).  Benchmarks and the
+examples use this registry; ``experiment_ids()`` is the canonical list for
+coverage checks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.analysis import figures, tables
+from repro.core.area import fr_area_fraction_of_xeon, fr_area_mm2
+from repro.core.profiling import profiling_cost
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """One reproducible table or figure."""
+
+    identifier: str
+    description: str
+    run: Callable[[], object]
+
+
+def _small_module_set() -> tuple[str, ...]:
+    """A cross-vendor module subset for laptop-scale sweeps."""
+    return ("H5", "H7", "M2", "M5", "S1", "S6")
+
+
+_EXPERIMENTS: dict[str, Experiment] = {}
+
+
+def _register(identifier: str, description: str,
+              run: Callable[[], object]) -> None:
+    if identifier in _EXPERIMENTS:
+        raise ConfigError(f"duplicate experiment id {identifier}")
+    _EXPERIMENTS[identifier] = Experiment(identifier, description, run)
+
+
+_register("table1", "Tested DDR4 DRAM chip inventory",
+          tables.render_table1)
+_register("fig3", "Preventive-refresh overhead of 5 mitigations vs N_RH",
+          lambda: figures.fig3_preventive_overhead(
+              nrh_values=(1024, 128, 32), num_mixes=2, requests=2_000))
+_register("fig4", "Motivational time/energy analysis (H5, S6)",
+          figures.fig4_motivation)
+_register("fig6", "N_RH vs charge-restoration latency (box stats)",
+          lambda: figures.fig6_nrh_boxes(_small_module_set(), per_region=12))
+_register("fig7", "Lowest observed N_RH per module vs latency",
+          lambda: figures.fig7_lowest_nrh(_small_module_set(), per_region=12))
+_register("fig8", "Per-row N_RH at 0.45 tRAS vs nominal (H8, M5, S1)",
+          lambda: figures.fig8_row_scatter(per_region=24))
+_register("fig9", "BER vs charge-restoration latency (box stats)",
+          lambda: figures.fig9_ber_boxes(_small_module_set(), per_region=12))
+_register("fig10", "Temperature x latency effect on N_RH",
+          lambda: figures.fig10_temperature(("H5", "M2", "S6"), per_region=8))
+_register("fig11", "N_RH vs repeated partial charge restoration",
+          lambda: figures.fig11_repeated_pcr(("H5", "M2", "S6"), per_region=8))
+_register("fig12", "N_RH vs up-to-15K partial restorations (H7, M2, S6)",
+          lambda: figures.fig12_npr_scaling(per_region=6))
+_register("fig13", "Half-Double bitflip prevalence vs latency",
+          lambda: figures.fig13_halfdouble(per_region=32))
+_register("fig14", "Data-retention failures vs latency",
+          figures.fig14_retention)
+_register("fig16", "Performance vs preventive-refresh latency",
+          lambda: figures.fig16_latency_sweep(
+              nrh_values=(64,), requests=2_000,
+              workloads=("spec06.mcf", "ycsb.a")))
+_register("fig17+18", "Performance and energy vs N_RH (PaCRAM vs none)",
+          lambda: figures.fig17_18_performance_energy(
+              nrh_values=(1024, 64), requests=2_000,
+              workloads=("spec06.mcf", "ycsb.a")))
+_register("fig19", "Periodic-refresh extension vs chip density (App. B)",
+          lambda: figures.fig19_periodic(densities_gbit=(8, 64, 512)))
+_register("table3", "Lowest N_RH per module per latency",
+          tables.render_table3)
+_register("table4", "PaCRAM parameters per module per latency",
+          tables.render_table4)
+_register("area", "PaCRAM hardware cost (0.09 % of a Xeon)",
+          lambda: {
+              "area_mm2": fr_area_mm2(32),
+              "xeon_fraction": fr_area_fraction_of_xeon(32),
+          })
+_register("profiling", "Profiling cost (127 KB/s, 68.8 min/bank)",
+          profiling_cost)
+
+EXPERIMENTS = dict(_EXPERIMENTS)
+
+
+def experiment_ids() -> tuple[str, ...]:
+    return tuple(EXPERIMENTS)
+
+
+def run_experiment(identifier: str) -> object:
+    try:
+        experiment = EXPERIMENTS[identifier]
+    except KeyError:
+        raise ConfigError(
+            f"unknown experiment {identifier!r}; known: {experiment_ids()}"
+        ) from None
+    return experiment.run()

@@ -1,0 +1,60 @@
+"""Simulation-run orchestration shared by figure builders and benchmarks."""
+
+from __future__ import annotations
+
+from repro.core.config import PaCRAMConfig
+from repro.core.pacram import PaCRAM
+from repro.dram.catalog import PACRAM_REFERENCE_MODULES
+from repro.dram.vendor import Manufacturer
+from repro.errors import ConfigError
+from repro.mitigations import make_mitigation
+from repro.sim.config import SystemConfig
+from repro.sim.system import MemorySystem, SimulationResult
+from repro.workloads.suites import workload_by_name
+
+#: Best-observed charge-restoration latencies per vendor (§9.2, obs. 5):
+#: PaCRAM-H uses 0.36 tRAS, PaCRAM-M 0.18 tRAS, PaCRAM-S 0.45 tRAS.
+PACRAM_BEST_FACTORS: dict[str, float] = {"H": 0.36, "M": 0.18, "S": 0.45}
+
+#: The tested N_RH values of the evaluation (§9.1).
+EVALUATED_NRH_VALUES: tuple[int, ...] = (1024, 512, 256, 128, 64, 32)
+
+
+def pacram_reference_config(vendor: str,
+                            tras_factor: float | None = None) -> PaCRAMConfig:
+    """The PaCRAM-H / PaCRAM-M / PaCRAM-S configuration of §9.1.
+
+    Uses the vendor's representative module (H5 / M2 / S6) at its
+    best-observed latency unless ``tras_factor`` overrides it.
+    """
+    vendor = vendor.upper()
+    if vendor not in PACRAM_BEST_FACTORS:
+        raise ConfigError(f"vendor must be one of H/M/S, got {vendor!r}")
+    module_id = PACRAM_REFERENCE_MODULES[Manufacturer(vendor)]
+    factor = tras_factor if tras_factor is not None else PACRAM_BEST_FACTORS[vendor]
+    return PaCRAMConfig.from_catalog(module_id, factor)
+
+
+def run_simulation(workload_names: tuple[str, ...], *,
+                   mitigation: str = "None", nrh: int = 1024,
+                   pacram: PaCRAMConfig | None = None,
+                   requests: int = 4_000, seed: int = 7,
+                   config: SystemConfig | None = None) -> SimulationResult:
+    """Run one configuration: workloads x mitigation x optional PaCRAM.
+
+    When PaCRAM is enabled the mitigation is instantiated with the *scaled*
+    N_RH (§8.2's security adjustment) and preventive refreshes use the
+    reduced latency through the policy hook.
+    """
+    if config is None:
+        config = SystemConfig(num_cores=max(1, len(workload_names)))
+    traces = [workload_by_name(name, requests=requests, seed=seed + i)
+              for i, name in enumerate(workload_names)]
+    policy = None
+    effective_nrh = nrh
+    if pacram is not None:
+        policy = PaCRAM(config, pacram)
+        effective_nrh = pacram.scaled_nrh(nrh)
+    mechanism = make_mitigation(mitigation, effective_nrh)
+    system = MemorySystem(config, traces, mitigation=mechanism, policy=policy)
+    return system.run()

@@ -1,0 +1,150 @@
+"""System-evaluation sweep runner (the artifact's Ramulator workflow).
+
+The paper's artifact launches a grid of Ramulator runs
+(``run_ramulator_all.sh``: mitigation x N_RH x PaCRAM configuration x
+workload), tracks their status, and parses the results into the evaluation
+figures.  This module is that workflow for the built-in simulator: define a
+grid, run it (resumable, persisted as JSON rows), and aggregate.
+
+The grid knobs mirror the artifact's customization interface (A.6):
+``mitigations`` (MITIGATION_LIST), ``nrh_values`` (NRH_VALUES), and the
+PaCRAM latency factors per vendor (latency_factor_vrr).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+
+from repro.analysis.runner import pacram_reference_config, run_simulation
+from repro.errors import ConfigError, SimulationError
+from repro.sim.config import SystemConfig
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One cell of the evaluation grid."""
+
+    mitigation: str
+    nrh: int
+    pacram_vendor: str | None  #: None = no PaCRAM
+    workloads: tuple[str, ...]
+
+    @property
+    def key(self) -> str:
+        vendor = self.pacram_vendor or "none"
+        return f"{self.mitigation}_nrh{self.nrh}_{vendor}_" + "+".join(
+            self.workloads)
+
+
+@dataclass(frozen=True)
+class SweepRow:
+    """One completed run's parsed statistics."""
+
+    key: str
+    mitigation: str
+    nrh: int
+    pacram_vendor: str | None
+    workloads: tuple[str, ...]
+    mean_ipc: float
+    energy_nj: float
+    preventive_busy_fraction: float
+    preventive_refresh_rows: int
+
+    @classmethod
+    def from_dict(cls, raw: dict) -> "SweepRow":
+        raw = dict(raw)
+        raw["workloads"] = tuple(raw["workloads"])
+        return cls(**raw)
+
+
+@dataclass
+class SweepGrid:
+    """The A.6 customization knobs."""
+
+    mitigations: tuple[str, ...] = ("PARA", "RFM", "PRAC", "Hydra", "Graphene")
+    nrh_values: tuple[int, ...] = (1024, 64)
+    pacram_vendors: tuple[str | None, ...] = (None, "H", "M", "S")
+    workload_sets: tuple[tuple[str, ...], ...] = (("spec06.mcf",),)
+    requests: int = 2_000
+
+    def points(self) -> list[SweepPoint]:
+        out = []
+        for mitigation in self.mitigations:
+            for nrh in self.nrh_values:
+                for vendor in self.pacram_vendors:
+                    for workloads in self.workload_sets:
+                        out.append(SweepPoint(mitigation, nrh, vendor,
+                                              tuple(workloads)))
+        if not out:
+            raise ConfigError("empty sweep grid")
+        return out
+
+
+class SweepRunner:
+    """Runs a grid resumably, persisting one JSON row per point."""
+
+    def __init__(self, results_dir: str | Path,
+                 grid: SweepGrid | None = None) -> None:
+        self.results_dir = Path(results_dir)
+        self.grid = grid or SweepGrid()
+
+    def row_path(self, point: SweepPoint) -> Path:
+        return self.results_dir / f"{point.key}.json"
+
+    def status(self) -> tuple[int, int]:
+        """(completed, total) — the check_run_status.py analogue."""
+        points = self.grid.points()
+        done = sum(1 for p in points if self.row_path(p).exists())
+        return done, len(points)
+
+    # ------------------------------------------------------------------
+    def run_point(self, point: SweepPoint, *, force: bool = False) -> SweepRow:
+        path = self.row_path(point)
+        if path.exists() and not force:
+            return SweepRow.from_dict(json.loads(path.read_text()))
+        pacram = (pacram_reference_config(point.pacram_vendor)
+                  if point.pacram_vendor else None)
+        config = SystemConfig(num_cores=max(1, len(point.workloads)))
+        result = run_simulation(
+            point.workloads, mitigation=point.mitigation, nrh=point.nrh,
+            pacram=pacram, requests=self.grid.requests, config=config)
+        row = SweepRow(
+            key=point.key, mitigation=point.mitigation, nrh=point.nrh,
+            pacram_vendor=point.pacram_vendor, workloads=point.workloads,
+            mean_ipc=result.mean_ipc, energy_nj=result.energy_nj,
+            preventive_busy_fraction=result.preventive_busy_fraction,
+            preventive_refresh_rows=(
+                result.controller_stats.preventive_refresh_rows))
+        self.results_dir.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(asdict(row), indent=1))
+        return row
+
+    def run(self, *, force: bool = False) -> list[SweepRow]:
+        return [self.run_point(p, force=force) for p in self.grid.points()]
+
+    # ------------------------------------------------------------------
+    def aggregate(self, rows: list[SweepRow] | None = None,
+                  ) -> dict[tuple[str, str], dict[int, float]]:
+        """Normalized IPC vs N_RH per (mitigation, config) — Fig. 17's
+        parse_ram_results step.  Normalization is against the same
+        mitigation's no-PaCRAM row at the same N_RH."""
+        if rows is None:
+            rows = self.run()
+        baselines: dict[tuple[str, int, tuple[str, ...]], float] = {}
+        for row in rows:
+            if row.pacram_vendor is None:
+                baselines[(row.mitigation, row.nrh, row.workloads)] = row.mean_ipc
+        out: dict[tuple[str, str], dict[int, float]] = {}
+        for row in rows:
+            if row.pacram_vendor is None:
+                continue
+            base = baselines.get((row.mitigation, row.nrh, row.workloads))
+            if base is None or base <= 0:
+                raise SimulationError(
+                    f"missing no-PaCRAM baseline for {row.key}")
+            label = f"PaCRAM-{row.pacram_vendor}"
+            series = out.setdefault((row.mitigation, label), {})
+            series[row.nrh] = row.mean_ipc / base
+        return out

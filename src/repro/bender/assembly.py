@@ -1,0 +1,122 @@
+"""Textual assembly for test programs (SoftMC-style program dumps).
+
+Real DRAM-Bender test programs are shipped and reviewed as readable
+instruction listings.  This module serializes :class:`TestProgram` to and
+from such a listing, so characterization programs can be archived, diffed,
+and replayed exactly::
+
+    ACT    bank=0 row=1000 wait=12.0
+    PRE    bank=0 wait=15.0
+    WRITE  bank=0 row=1000 pattern=RS
+    HAMMER bank=0 rows=999,1001 count=100000
+    SLEEPU target=64000000.0
+    READ   bank=0 row=1000 key=victim
+"""
+
+from __future__ import annotations
+
+from repro.bender.isa import (
+    Act,
+    Hammer,
+    Instruction,
+    Pre,
+    ReadRow,
+    Restore,
+    Sleep,
+    SleepUntil,
+    WriteRow,
+)
+from repro.bender.program import TestProgram
+from repro.dram.disturbance import DataPattern
+from repro.errors import ProgramError
+
+_PATTERNS_BY_NAME = {p.short_name: p for p in DataPattern}
+
+
+def _emit(instruction: Instruction) -> str:
+    if isinstance(instruction, Act):
+        return f"ACT    bank={instruction.bank} row={instruction.row} " \
+               f"wait={instruction.wait_ns}"
+    if isinstance(instruction, Pre):
+        return f"PRE    bank={instruction.bank} wait={instruction.wait_ns}"
+    if isinstance(instruction, WriteRow):
+        return f"WRITE  bank={instruction.bank} row={instruction.row} " \
+               f"pattern={instruction.pattern.short_name}"
+    if isinstance(instruction, ReadRow):
+        return f"READ   bank={instruction.bank} row={instruction.row} " \
+               f"key={instruction.key}"
+    if isinstance(instruction, Sleep):
+        return f"SLEEP  ns={instruction.duration_ns}"
+    if isinstance(instruction, SleepUntil):
+        return f"SLEEPU target={instruction.target_ns}"
+    if isinstance(instruction, Hammer):
+        rows = ",".join(str(r) for r in instruction.rows)
+        return f"HAMMER bank={instruction.bank} rows={rows} " \
+               f"count={instruction.count}"
+    if isinstance(instruction, Restore):
+        return f"RESTOR bank={instruction.bank} row={instruction.row} " \
+               f"tras={instruction.tras_ns} count={instruction.count}"
+    raise ProgramError(f"cannot serialize {instruction!r}")
+
+
+def dumps(program: TestProgram) -> str:
+    """Serialize a program to its assembly listing."""
+    return "\n".join(_emit(instruction) for instruction in program) + "\n"
+
+
+def _fields(parts: list[str]) -> dict[str, str]:
+    out = {}
+    for part in parts:
+        if "=" not in part:
+            raise ProgramError(f"malformed operand {part!r}")
+        key, value = part.split("=", 1)
+        out[key] = value
+    return out
+
+
+def _parse_line(line: str) -> Instruction:
+    parts = line.split()
+    mnemonic, fields = parts[0], _fields(parts[1:])
+    try:
+        if mnemonic == "ACT":
+            return Act(int(fields["bank"]), int(fields["row"]),
+                       float(fields["wait"]))
+        if mnemonic == "PRE":
+            return Pre(int(fields["bank"]), float(fields["wait"]))
+        if mnemonic == "WRITE":
+            pattern = _PATTERNS_BY_NAME[fields["pattern"]]
+            return WriteRow(int(fields["bank"]), int(fields["row"]), pattern)
+        if mnemonic == "READ":
+            return ReadRow(int(fields["bank"]), int(fields["row"]),
+                           fields["key"])
+        if mnemonic == "SLEEP":
+            return Sleep(float(fields["ns"]))
+        if mnemonic == "SLEEPU":
+            return SleepUntil(float(fields["target"]))
+        if mnemonic == "HAMMER":
+            rows = tuple(int(r) for r in fields["rows"].split(","))
+            return Hammer(int(fields["bank"]), rows, int(fields["count"]))
+        if mnemonic == "RESTOR":
+            return Restore(int(fields["bank"]), int(fields["row"]),
+                           float(fields["tras"]), int(fields["count"]))
+    except KeyError as missing:
+        raise ProgramError(
+            f"{mnemonic}: missing operand {missing}") from None
+    raise ProgramError(f"unknown mnemonic {mnemonic!r}")
+
+
+def loads(text: str, program: TestProgram | None = None) -> TestProgram:
+    """Parse an assembly listing back into a program.
+
+    Blank lines and ``#`` comments are ignored.
+    """
+    program = program or TestProgram()
+    for number, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        try:
+            program.instructions.append(_parse_line(line))
+        except ProgramError as error:
+            raise ProgramError(f"line {number}: {error}") from None
+    return program

@@ -1,0 +1,110 @@
+"""Executes test programs against a DRAM module device model.
+
+The executor enforces the command-protocol invariants a real memory
+controller/FPGA would (no ACT to an open bank, PRE only on an open bank) and
+keeps the program clock, so characterization code can rely on the
+"runtime must not exceed the refresh window" discipline of §4.1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.bender.isa import (
+    Act,
+    Hammer,
+    Instruction,
+    Pre,
+    ReadRow,
+    Restore,
+    Sleep,
+    SleepUntil,
+    WriteRow,
+)
+from repro.bender.program import TestProgram
+from repro.dram.module import DRAMModule
+from repro.errors import ProgramError
+
+
+@dataclass
+class ExecutionResult:
+    """Outcome of one program execution."""
+
+    bitflips: dict[str, int] = field(default_factory=dict)
+    duration_ns: float = 0.0
+    instructions_executed: int = 0
+
+    def flips(self, key: str) -> int:
+        """Bitflip count recorded under ``key`` (KeyError if never read)."""
+        return self.bitflips[key]
+
+
+class ProgramExecutor:
+    """Runs :class:`TestProgram` instances on a :class:`DRAMModule`."""
+
+    def __init__(self, module: DRAMModule) -> None:
+        self.module = module
+
+    def execute(self, program: TestProgram) -> ExecutionResult:
+        """Execute every instruction, returning recorded bitflip counts.
+
+        The module's clock is reset at program start, mirroring how each
+        DRAM Bender test runs as an isolated experiment with periodic
+        refresh disabled (§4.1).
+        """
+        module = self.module
+        module.clock_ns = 0.0
+        result = ExecutionResult()
+        open_row: dict[int, tuple[int, float]] = {}  # bank -> (row, act wait)
+        for index, inst in enumerate(program):
+            self._dispatch(inst, module, open_row, result, index)
+            result.instructions_executed += 1
+        if open_row:
+            banks = sorted(open_row)
+            raise ProgramError(f"program ended with banks {banks} still open")
+        result.duration_ns = module.clock_ns
+        return result
+
+    # ------------------------------------------------------------------
+    def _dispatch(self, inst: Instruction, module: DRAMModule,
+                  open_row: dict[int, tuple[int, float]],
+                  result: ExecutionResult, index: int) -> None:
+        if isinstance(inst, Act):
+            if inst.bank in open_row:
+                raise ProgramError(
+                    f"[{index}] ACT to open bank {inst.bank}")
+            open_row[inst.bank] = (inst.row, inst.wait_ns)
+        elif isinstance(inst, Pre):
+            if inst.bank not in open_row:
+                raise ProgramError(
+                    f"[{index}] PRE on closed bank {inst.bank}")
+            row, act_wait = open_row.pop(inst.bank)
+            # The ACT wait is the charge-restoration time actually granted.
+            module.activate(inst.bank, row, tras_ns=act_wait)
+        elif isinstance(inst, WriteRow):
+            self._require_closed(inst.bank, open_row, index)
+            module.write_row(inst.bank, inst.row, inst.pattern)
+        elif isinstance(inst, ReadRow):
+            self._require_closed(inst.bank, open_row, index)
+            result.bitflips[inst.key] = module.read_row_bitflips(
+                inst.bank, inst.row)
+        elif isinstance(inst, Sleep):
+            module.elapse(inst.duration_ns)
+        elif isinstance(inst, SleepUntil):
+            if module.clock_ns < inst.target_ns:
+                module.elapse(inst.target_ns - module.clock_ns)
+        elif isinstance(inst, Hammer):
+            self._require_closed(inst.bank, open_row, index)
+            module.hammer(inst.bank, inst.rows, inst.count)
+        elif isinstance(inst, Restore):
+            self._require_closed(inst.bank, open_row, index)
+            module.partial_restore(inst.bank, inst.row, inst.tras_ns, inst.count)
+        else:  # pragma: no cover - exhaustive over the ISA
+            raise ProgramError(f"[{index}] unknown instruction {inst!r}")
+
+    @staticmethod
+    def _require_closed(bank: int, open_row: dict[int, tuple[int, float]],
+                        index: int) -> None:
+        if bank in open_row:
+            raise ProgramError(
+                f"[{index}] bank {bank} must be precharged first")

@@ -1,0 +1,46 @@
+"""The host-machine facade of the testing platform.
+
+A :class:`DRAMBenderHost` owns the device under test, the program executor,
+and the temperature controller, mirroring the four components of the paper's
+infrastructure (Fig. 5): host machine, FPGA board, thermocouple + heaters,
+and PID controller.
+"""
+
+from __future__ import annotations
+
+from repro.bender.executor import ExecutionResult, ProgramExecutor
+from repro.bender.program import TestProgram
+from repro.bender.temperature import PIDTemperatureController
+from repro.dram.module import DRAMModule
+
+
+class DRAMBenderHost:
+    """Connects a module, runs programs, and regulates temperature."""
+
+    def __init__(self, module: DRAMModule | str, *,
+                 temperature_c: float = 80.0, seed: int = 2025) -> None:
+        if isinstance(module, str):
+            module = DRAMModule(module, seed=seed, temperature_c=temperature_c)
+        self.module = module
+        self.executor = ProgramExecutor(module)
+        self.controller = PIDTemperatureController(setpoint_c=temperature_c)
+        self.set_temperature(temperature_c)
+
+    def set_temperature(self, temperature_c: float) -> float:
+        """Drive the heaters until the chips settle at ``temperature_c``.
+
+        The settled (regulated) temperature — within +/- 0.5 C of the target
+        — is what the device under test actually experiences.
+        """
+        self.controller.set_target(temperature_c)
+        settled = self.controller.settle()
+        self.module.temperature_c = settled
+        return settled
+
+    def run(self, program: TestProgram) -> ExecutionResult:
+        """Execute a test program on the device under test."""
+        return self.executor.execute(program)
+
+    def new_program(self) -> TestProgram:
+        """A fresh program bound to the device's timing parameters."""
+        return TestProgram(timing=self.module.timing)

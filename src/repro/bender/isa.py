@@ -1,0 +1,128 @@
+"""Instruction set of the software DRAM Bender.
+
+Programs are flat sequences of these instructions.  Waits are explicit and
+attached to the command that owns them, exactly how SoftMC-style test
+programs encode custom timings (e.g. an ``ACT`` with ``wait=tRAS(Red)``
+performs a partial charge restoration, Algorithm 1 line 4).
+
+A ``Hammer`` macro-instruction is provided for bulk interleaved activations:
+a real program would express it as an unrolled ACT/PRE loop; the macro keeps
+100K-activation tests fast without changing observable behavior.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dram.disturbance import DataPattern
+from repro.errors import ProgramError
+
+
+@dataclass(frozen=True)
+class Act:
+    """Activate ``row`` in ``bank`` and keep it open for ``wait_ns``."""
+
+    bank: int
+    row: int
+    wait_ns: float
+
+    def __post_init__(self) -> None:
+        if self.wait_ns <= 0:
+            raise ProgramError("ACT wait must be positive")
+
+
+@dataclass(frozen=True)
+class Pre:
+    """Precharge ``bank``, waiting ``wait_ns`` (tRP) before the next command."""
+
+    bank: int
+    wait_ns: float
+
+    def __post_init__(self) -> None:
+        if self.wait_ns <= 0:
+            raise ProgramError("PRE wait must be positive")
+
+
+@dataclass(frozen=True)
+class WriteRow:
+    """Initialize a whole row with a data pattern (init_rows helper)."""
+
+    bank: int
+    row: int
+    pattern: DataPattern
+
+
+@dataclass(frozen=True)
+class ReadRow:
+    """Read a row back and record its bitflip count under ``key``."""
+
+    bank: int
+    row: int
+    key: str
+
+
+@dataclass(frozen=True)
+class Sleep:
+    """Idle for ``duration_ns`` (refresh stays disabled; charge leaks)."""
+
+    duration_ns: float
+
+    def __post_init__(self) -> None:
+        if self.duration_ns < 0:
+            raise ProgramError("sleep duration must be non-negative")
+
+
+@dataclass(frozen=True)
+class SleepUntil:
+    """Idle until the program clock reaches ``target_ns`` (no-op if past).
+
+    Algorithm 1's ``sleep_until_tREFW`` maps onto this instruction.
+    """
+
+    target_ns: float
+
+    def __post_init__(self) -> None:
+        if self.target_ns < 0:
+            raise ProgramError("sleep target must be non-negative")
+
+
+@dataclass(frozen=True)
+class Hammer:
+    """Bulk interleaved activations: each row in ``rows`` is activated
+    ``count`` times with nominal full-speed timing, alternating between the
+    rows (the double-sided hammering loop of Algorithm 1 line 9)."""
+
+    bank: int
+    rows: tuple[int, ...]
+    count: int
+
+    def __post_init__(self) -> None:
+        if not self.rows:
+            raise ProgramError("hammer needs at least one row")
+        if self.count < 0:
+            raise ProgramError("hammer count must be non-negative")
+
+
+@dataclass(frozen=True)
+class Restore:
+    """Bulk partial-restoration macro: ``count`` consecutive ACT/PRE cycles
+    on one row with a (possibly reduced) charge-restoration wait.
+
+    Equivalent to ``count`` unrolled ACT(wait=tras_ns)/PRE pairs; provided so
+    15K-restoration experiments (Fig. 12) do not build 30K-instruction
+    programs.
+    """
+
+    bank: int
+    row: int
+    tras_ns: float
+    count: int
+
+    def __post_init__(self) -> None:
+        if self.tras_ns <= 0:
+            raise ProgramError("restore tRAS must be positive")
+        if self.count < 0:
+            raise ProgramError("restore count must be non-negative")
+
+
+Instruction = Act | Pre | WriteRow | ReadRow | Sleep | SleepUntil | Hammer | Restore

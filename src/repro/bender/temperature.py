@@ -1,0 +1,99 @@
+"""PID temperature controller (MaxWell FT200 stand-in).
+
+The paper's platform presses heater pads against the chips and holds the
+target temperature within +/- 0.5 C (§4.1, footnote 2).  This module models
+that loop: a first-order thermal plant (heater power in, temperature out,
+ambient losses) regulated by a discrete PID controller.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+
+@dataclass
+class ThermalPlant:
+    """First-order thermal model of the DIMM + heater pads."""
+
+    ambient_c: float = 25.0
+    thermal_resistance: float = 0.9  #: C per watt at steady state
+    time_constant_s: float = 18.0  #: thermal RC constant
+    temperature_c: float = 25.0
+
+    def step(self, heater_watts: float, dt_s: float) -> float:
+        """Advance the plant by ``dt_s`` seconds with the given heater power."""
+        if dt_s <= 0:
+            raise ConfigError("time step must be positive")
+        target = self.ambient_c + self.thermal_resistance * max(heater_watts, 0.0)
+        alpha = 1.0 - pow(2.718281828459045, -dt_s / self.time_constant_s)
+        self.temperature_c += alpha * (target - self.temperature_c)
+        return self.temperature_c
+
+
+class PIDTemperatureController:
+    """Discrete PID loop holding the chips at a setpoint within +/- 0.5 C."""
+
+    #: Regulation precision the paper's controller achieves.
+    PRECISION_C = 0.5
+
+    def __init__(self, setpoint_c: float = 80.0, *,
+                 kp: float = 9.0, ki: float = 0.8, kd: float = 4.0,
+                 max_power_w: float = 120.0,
+                 plant: ThermalPlant | None = None) -> None:
+        if setpoint_c <= 0:
+            raise ConfigError("setpoint must be positive")
+        self.setpoint_c = setpoint_c
+        self.kp, self.ki, self.kd = kp, ki, kd
+        self.max_power_w = max_power_w
+        self.plant = plant or ThermalPlant()
+        self._integral = 0.0
+        self._previous_error: float | None = None
+
+    @property
+    def temperature_c(self) -> float:
+        return self.plant.temperature_c
+
+    def set_target(self, setpoint_c: float) -> None:
+        """Change the setpoint (e.g. 50 -> 65 -> 80 C sweeps)."""
+        if setpoint_c <= 0:
+            raise ConfigError("setpoint must be positive")
+        self.setpoint_c = setpoint_c
+
+    def step(self, dt_s: float = 1.0) -> float:
+        """One control period: measure, compute PID output, drive heater."""
+        error = self.setpoint_c - self.plant.temperature_c
+        self._integral += error * dt_s
+        # Anti-windup: bound the integral so overshoot stays within spec.
+        bound = self.max_power_w / max(self.ki, 1e-9)
+        self._integral = max(-bound, min(self._integral, bound))
+        derivative = 0.0
+        if self._previous_error is not None:
+            derivative = (error - self._previous_error) / dt_s
+        self._previous_error = error
+        power = (self.kp * error + self.ki * self._integral
+                 + self.kd * derivative)
+        power = max(0.0, min(power, self.max_power_w))
+        return self.plant.step(power, dt_s)
+
+    def settle(self, *, dt_s: float = 1.0, timeout_s: float = 1800.0) -> float:
+        """Run the loop until the temperature is within spec of the setpoint.
+
+        Returns the settled temperature; raises if regulation fails within
+        ``timeout_s`` (a broken configuration, e.g. insufficient power).
+        """
+        elapsed = 0.0
+        stable = 0.0
+        while elapsed < timeout_s:
+            self.step(dt_s)
+            elapsed += dt_s
+            if abs(self.plant.temperature_c - self.setpoint_c) <= self.PRECISION_C:
+                stable += dt_s
+                if stable >= 10.0:  # stay in band, not just cross it
+                    return self.plant.temperature_c
+            else:
+                stable = 0.0
+        raise ConfigError(
+            f"temperature failed to settle at {self.setpoint_c} C within "
+            f"{timeout_s}s (reached {self.plant.temperature_c:.2f} C)")

@@ -1,0 +1,136 @@
+"""Algorithm 1: profiling the effect of reduced tRAS on RowHammer.
+
+This file is a line-for-line functional port of the paper's Algorithm 1:
+
+* ``partial_restoration`` — N_PR consecutive ACT/PRE cycles with reduced
+  tRAS on the victim row (built via the program builder);
+* ``perform_rh`` — initialize rows, partially restore the victim, hammer
+  double-sided, wait out the refresh window, count bitflips;
+* ``measure_row`` — find the worst-case data pattern, measure BER at 100K
+  hammers, pre-check for retention bitflips (N_RH = 0), then bi-section
+  search for N_RH.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bender.host import DRAMBenderHost
+from repro.characterization.bisect import bisect_threshold
+from repro.characterization.results import RowMeasurement
+from repro.dram.disturbance import ALL_PATTERNS, DataPattern
+from repro.errors import CharacterizationError
+
+
+@dataclass(frozen=True)
+class CharacterizationConfig:
+    """Test-loop parameters (§4.3 defaults)."""
+
+    hc_high: int = 100_000
+    hc_low: int = 0
+    hc_step: int = 1_000
+    iterations: int = 5  #: the paper repeats tests five times
+    patterns: tuple[DataPattern, ...] = ALL_PATTERNS
+
+    def __post_init__(self) -> None:
+        if self.iterations < 1:
+            raise CharacterizationError("iterations must be >= 1")
+        if not self.patterns:
+            raise CharacterizationError("need at least one data pattern")
+
+
+def aggressors_of(host: DRAMBenderHost, victim: int) -> tuple[int, ...]:
+    """The two physically adjacent rows of a victim (reverse-engineered
+    through the module's internal mapping, §4.3)."""
+    rows = host.module.mapping.neighbors(victim, distance=1)
+    if len(rows) != 2:
+        raise CharacterizationError(
+            f"victim {victim} lacks two physical neighbors (got {rows})")
+    return rows
+
+
+def perform_rh(host: DRAMBenderHost, bank: int, victim: int,
+               pattern: DataPattern, hammer_count: int,
+               tras_red_ns: float, n_pr: int) -> int:
+    """One RowHammer test on one victim row; returns the bitflip count.
+
+    Follows Algorithm 1's ``perform_RH`` (lines 6-11): init rows, partial
+    restoration with ``tras_red_ns`` repeated ``n_pr`` times, double-sided
+    hammering at maximum rate, idle until the end of the refresh window
+    (to expose retention failures caused by weak restoration), then read.
+    """
+    module = host.module
+    aggressors = aggressors_of(host, victim)
+    program = host.new_program()
+    program.init_rows(bank, victim, aggressors, pattern)
+    program.partial_restoration(bank, victim, tras_red_ns, n_pr)
+    program.hammer_doublesided(bank, aggressors, hammer_count)
+    program.sleep_until(module.timing.tREFW)
+    program.check_bitflips(bank, victim, key="victim")
+    return host.run(program).flips("victim")
+
+
+def find_wcdp(host: DRAMBenderHost, bank: int, victim: int,
+              tras_red_ns: float, n_pr: int,
+              config: CharacterizationConfig) -> DataPattern:
+    """The data pattern causing the most bitflips at ``hc_high`` hammers
+    (Alg. 1 lines 16-19).  Ties resolve to the first pattern tested."""
+    best_pattern = config.patterns[0]
+    best_flips = -1
+    for pattern in config.patterns:
+        flips = perform_rh(host, bank, victim, pattern,
+                           config.hc_high, tras_red_ns, n_pr)
+        if flips > best_flips:
+            best_pattern, best_flips = pattern, flips
+    return best_pattern
+
+
+def measure_row(host: DRAMBenderHost, bank: int, victim: int, *,
+                tras_red_ns: float | None = None, n_pr: int = 1,
+                config: CharacterizationConfig | None = None) -> RowMeasurement:
+    """Measure one row's N_RH and BER at one test point (Alg. 1 main loop).
+
+    The paper runs five iterations and keeps the lowest N_RH / highest BER;
+    the device model is deterministic, so iterations reproduce identical
+    values, but the min/max discipline is preserved.
+    """
+    config = config or CharacterizationConfig()
+    module = host.module
+    nominal = module.timing.tRAS
+    if tras_red_ns is None:
+        tras_red_ns = nominal
+    if not 0 < tras_red_ns <= nominal:
+        raise CharacterizationError(
+            f"tras_red_ns must be in (0, {nominal}], got {tras_red_ns}")
+    if n_pr < 1:
+        raise CharacterizationError("n_pr must be >= 1")
+
+    wcdp = find_wcdp(host, bank, victim, tras_red_ns, n_pr, config)
+    cells = module.spec.row_bits()
+    best_nrh: int | None = None
+    best_ber = 0.0
+    for _ in range(config.iterations):
+        # BER at the maximum hammer count (Alg. 1 line 20).
+        flips = perform_rh(host, bank, victim, wcdp,
+                           config.hc_high, tras_red_ns, n_pr)
+        best_ber = max(best_ber, flips / cells)
+        # Retention pre-check: bitflips with zero hammers => N_RH = 0
+        # (Alg. 1 lines 21-24).
+        retention_flips = perform_rh(host, bank, victim, wcdp,
+                                     0, tras_red_ns, n_pr)
+        if retention_flips > 0:
+            best_nrh = 0
+            continue
+        # Bi-section search (Alg. 1 lines 25-32).
+        nrh = bisect_threshold(
+            lambda hc: perform_rh(host, bank, victim, wcdp,
+                                  hc, tras_red_ns, n_pr),
+            hc_high=config.hc_high, hc_low=config.hc_low,
+            hc_step=config.hc_step)
+        if nrh is not None and (best_nrh is None or nrh < best_nrh):
+            best_nrh = nrh
+    return RowMeasurement(
+        bank=bank, row=victim,
+        tras_factor=tras_red_ns / nominal, n_pr=n_pr,
+        temperature_c=host.module.temperature_c,
+        wcdp=wcdp.short_name, nrh=best_nrh, ber=best_ber)

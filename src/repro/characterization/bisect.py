@@ -1,0 +1,40 @@
+"""Bi-section search for the RowHammer threshold (Alg. 1 lines 25-32)."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import CharacterizationError
+
+
+def bisect_threshold(flips_at: Callable[[int], int], *,
+                     hc_high: int = 100_000, hc_low: int = 0,
+                     hc_step: int = 1_000) -> int | None:
+    """Find the minimum hammer count that induces at least one bitflip.
+
+    ``flips_at(hc)`` runs a hammering test at ``hc`` activations per
+    aggressor row and returns the observed bitflip count.  Mirrors the
+    paper's search exactly: the interval ``(hc_low, hc_high]`` is narrowed
+    until it is no wider than ``hc_step``, and the smallest hammer count
+    observed to flip is returned.
+
+    Returns ``None`` when even ``hc_high`` activations flip nothing (the row
+    is not vulnerable within the search bound).
+    """
+    if hc_high <= hc_low:
+        raise CharacterizationError("hc_high must exceed hc_low")
+    if hc_step <= 0:
+        raise CharacterizationError("hc_step must be positive")
+    if flips_at(hc_high) == 0:
+        return None
+    nrh = hc_high
+    low, high = hc_low, hc_high
+    while high - low > hc_step:
+        current = (high + low) // 2
+        flips = flips_at(current)
+        if flips == 0:
+            low = current
+        else:
+            high = current
+            nrh = current
+    return nrh

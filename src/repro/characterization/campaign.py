@@ -1,0 +1,101 @@
+"""Characterization campaigns with persistent results (artifact workflow).
+
+The paper's artifact ships raw DRAM-Bender results and scripts that parse
+and plot them (``plot_db_figures.sh``).  This module is that workflow for
+the simulated platform: run a multi-module campaign once, persist every
+module's measurements as JSON under a results directory, and reload them
+for analysis without re-running.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.characterization.results import ModuleCharacterization
+from repro.characterization.sweeps import characterize_module
+from repro.dram.catalog import all_module_ids
+from repro.dram.timing import TESTED_TRAS_FACTORS
+from repro.errors import CharacterizationError
+
+
+@dataclass
+class CampaignConfig:
+    """What a campaign covers."""
+
+    module_ids: tuple[str, ...] = field(default_factory=all_module_ids)
+    tras_factors: tuple[float, ...] = TESTED_TRAS_FACTORS
+    n_prs: tuple[int, ...] = (1,)
+    temperatures_c: tuple[float, ...] = (80.0,)
+    per_region: int = 64
+    seed: int = 2025
+
+    def __post_init__(self) -> None:
+        if not self.module_ids:
+            raise CharacterizationError("campaign needs at least one module")
+        if self.per_region <= 0:
+            raise CharacterizationError("per_region must be positive")
+
+
+class CharacterizationCampaign:
+    """Runs, persists, and reloads multi-module characterization results."""
+
+    def __init__(self, results_dir: str | Path,
+                 config: CampaignConfig | None = None) -> None:
+        self.results_dir = Path(results_dir)
+        self.config = config or CampaignConfig()
+
+    # ------------------------------------------------------------------
+    def result_path(self, module_id: str) -> Path:
+        return self.results_dir / f"{module_id}.json"
+
+    def is_done(self, module_id: str) -> bool:
+        return self.result_path(module_id).exists()
+
+    def pending_modules(self) -> tuple[str, ...]:
+        return tuple(m for m in self.config.module_ids if not self.is_done(m))
+
+    # ------------------------------------------------------------------
+    def run_module(self, module_id: str, *,
+                   force: bool = False) -> ModuleCharacterization:
+        """Characterize one module, persisting (or reusing) its results."""
+        if module_id not in self.config.module_ids:
+            raise CharacterizationError(
+                f"{module_id} is not part of this campaign")
+        path = self.result_path(module_id)
+        if path.exists() and not force:
+            return ModuleCharacterization.load(path)
+        config = self.config
+        result = characterize_module(
+            module_id, tras_factors=config.tras_factors,
+            n_prs=config.n_prs, temperatures_c=config.temperatures_c,
+            per_region=config.per_region, seed=config.seed)
+        self.results_dir.mkdir(parents=True, exist_ok=True)
+        result.save(path)
+        return result
+
+    def run(self, *, force: bool = False) -> dict[str, ModuleCharacterization]:
+        """Run (or resume) the whole campaign; returns all results."""
+        return {module_id: self.run_module(module_id, force=force)
+                for module_id in self.config.module_ids}
+
+    def load(self) -> dict[str, ModuleCharacterization]:
+        """Load a completed campaign's results without running anything."""
+        missing = self.pending_modules()
+        if missing:
+            raise CharacterizationError(
+                f"campaign incomplete; missing modules: {missing}")
+        return {module_id: ModuleCharacterization.load(
+            self.result_path(module_id))
+            for module_id in self.config.module_ids}
+
+    # ------------------------------------------------------------------
+    def summary(self) -> str:
+        """Progress summary (the artifact's check_*_status.py analogue)."""
+        done = [m for m in self.config.module_ids if self.is_done(m)]
+        lines = [f"campaign at {self.results_dir}: "
+                 f"{len(done)}/{len(self.config.module_ids)} modules done"]
+        pending = self.pending_modules()
+        if pending:
+            lines.append("pending: " + ", ".join(pending))
+        return "\n".join(lines)

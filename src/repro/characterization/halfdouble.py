@@ -1,0 +1,91 @@
+"""Half-Double access pattern characterization (§6, Fig. 13).
+
+The Half-Double pattern hammers a *far* aggressor (physical distance 2 from
+the victim) many times, then the *near* aggressor (distance 1) a much
+smaller number of times.  The test below modifies Algorithm 1's hammering
+function accordingly and reports the percentage of rows that exhibit
+Half-Double bitflips.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bender.host import DRAMBenderHost
+from repro.characterization.rows import select_test_bank, select_test_rows
+from repro.dram.disturbance import DataPattern
+from repro.errors import CharacterizationError
+
+#: Default Half-Double dose: many far activations, few near activations.
+FAR_HAMMERS = 60_000
+NEAR_HAMMERS = 300
+
+
+@dataclass(frozen=True)
+class HalfDoubleResult:
+    """Outcome of a Half-Double campaign on one module."""
+
+    module_id: str
+    tras_factor: float
+    n_pr: int
+    rows_tested: int
+    rows_with_bitflips: int
+
+    @property
+    def fraction(self) -> float:
+        if self.rows_tested == 0:
+            raise CharacterizationError("no rows tested")
+        return self.rows_with_bitflips / self.rows_tested
+
+
+def perform_halfdouble(host: DRAMBenderHost, bank: int, victim: int, *,
+                       tras_red_ns: float, n_pr: int,
+                       far_hammers: int = FAR_HAMMERS,
+                       near_hammers: int = NEAR_HAMMERS,
+                       pattern: DataPattern = DataPattern.ROW_STRIPE) -> int:
+    """One Half-Double test on one victim row; returns the bitflip count."""
+    module = host.module
+    mapping = module.mapping
+    physical = mapping.logical_to_physical(victim)
+    if physical + 2 >= mapping.rows_per_bank:
+        raise CharacterizationError(
+            f"victim {victim} too close to the bank edge for Half-Double")
+    near = mapping.physical_to_logical(physical + 1)
+    far = mapping.physical_to_logical(physical + 2)
+    program = host.new_program()
+    program.init_rows(bank, victim, (near, far), pattern)
+    program.partial_restoration(bank, victim, tras_red_ns, n_pr)
+    program.hammer_doublesided(bank, (far,), far_hammers)
+    program.hammer_doublesided(bank, (near,), near_hammers)
+    program.sleep_until(module.timing.tREFW)
+    program.check_bitflips(bank, victim, key="victim")
+    return host.run(program).flips("victim")
+
+
+def halfdouble_row_fraction(module_id: str, *, tras_factor: float = 1.0,
+                            n_pr: int = 1, per_region: int = 128,
+                            seed: int = 2025,
+                            far_hammers: int = FAR_HAMMERS,
+                            near_hammers: int = NEAR_HAMMERS,
+                            ) -> HalfDoubleResult:
+    """Percentage of rows with Half-Double bitflips on one module."""
+    host = DRAMBenderHost(module_id, seed=seed)
+    module = host.module
+    bank = select_test_bank(module_id, module.geometry.total_banks, seed)
+    rows = select_test_rows(module.geometry.rows_per_bank, per_region)
+    tras_red_ns = tras_factor * module.timing.tRAS
+    flipped = 0
+    tested = 0
+    for victim in rows:
+        physical = module.mapping.logical_to_physical(victim)
+        if physical + 2 >= module.mapping.rows_per_bank:
+            continue
+        tested += 1
+        flips = perform_halfdouble(
+            host, bank, victim, tras_red_ns=tras_red_ns, n_pr=n_pr,
+            far_hammers=far_hammers, near_hammers=near_hammers)
+        if flips > 0:
+            flipped += 1
+    return HalfDoubleResult(
+        module_id=module_id, tras_factor=tras_factor, n_pr=n_pr,
+        rows_tested=tested, rows_with_bitflips=flipped)

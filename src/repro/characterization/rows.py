@@ -1,0 +1,48 @@
+"""Selection of the rows a characterization run tests.
+
+To keep experiment time reasonable the paper tests 3K rows per module: 1K
+from the beginning, 1K from the middle, and 1K from the end of a randomly
+selected bank (§4.2).  ``select_test_rows`` reproduces that sampling at any
+scale.
+"""
+
+from __future__ import annotations
+
+from repro.errors import CharacterizationError
+from repro.rng import SeedTree
+
+
+def select_test_rows(rows_per_bank: int, per_region: int = 1024) -> tuple[int, ...]:
+    """Rows from the beginning, middle, and end of a bank.
+
+    Returns up to ``3 * per_region`` distinct row addresses.  Rows at the
+    very edge of each region are skipped so every victim has two physical
+    neighbors for double-sided hammering.
+    """
+    if per_region <= 0:
+        raise CharacterizationError("per_region must be positive")
+    if rows_per_bank < 6 * per_region:
+        raise CharacterizationError(
+            f"bank of {rows_per_bank} rows too small for 3x{per_region} regions")
+    middle_start = (rows_per_bank - per_region) // 2
+    regions = (
+        range(2, 2 + per_region),
+        range(middle_start, middle_start + per_region),
+        range(rows_per_bank - per_region - 2, rows_per_bank - 2),
+    )
+    selected: list[int] = []
+    seen: set[int] = set()
+    for region in regions:
+        for row in region:
+            if row not in seen:
+                seen.add(row)
+                selected.append(row)
+    return tuple(selected)
+
+
+def select_test_bank(module_id: str, total_banks: int, seed: int = 2025) -> int:
+    """The 'randomly selected bank' of §4.2, deterministic per module."""
+    if total_banks <= 0:
+        raise CharacterizationError("total_banks must be positive")
+    draw = SeedTree(seed).uniform("test-bank", module_id)
+    return int(draw * total_banks) % total_banks

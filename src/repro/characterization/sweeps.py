@@ -1,0 +1,103 @@
+"""Characterization campaigns: the sweeps behind Figs. 6-12.
+
+Every sweep is a thin loop over :func:`~repro.characterization.algorithm1.
+measure_row`, so what runs here is exactly the paper's Algorithm 1 executed
+at many test points.  The full-scale paper campaign (3K rows x 7 latencies x
+many restoration counts x 3 temperatures x 30 modules) is supported but
+slow; callers pick the scale through ``per_region`` and the swept values.
+"""
+
+from __future__ import annotations
+
+from repro.bender.host import DRAMBenderHost
+from repro.characterization.algorithm1 import CharacterizationConfig, measure_row
+from repro.characterization.results import ModuleCharacterization
+from repro.characterization.rows import select_test_bank, select_test_rows
+from repro.dram.timing import TESTED_TRAS_FACTORS
+from repro.errors import CharacterizationError
+
+#: Default config for sweeps: a single iteration, because the device model
+#: is deterministic (the paper's five iterations guard against run-to-run
+#: noise on real hardware).
+_SWEEP_CONFIG = CharacterizationConfig(iterations=1)
+
+
+def characterize_module(module_id: str, *,
+                        tras_factors: tuple[float, ...] = TESTED_TRAS_FACTORS,
+                        n_prs: tuple[int, ...] = (1,),
+                        temperatures_c: tuple[float, ...] = (80.0,),
+                        per_region: int = 342,
+                        rows: tuple[int, ...] | None = None,
+                        seed: int = 2025,
+                        config: CharacterizationConfig | None = None,
+                        ) -> ModuleCharacterization:
+    """Run the main test loop on one module across all requested test points.
+
+    ``per_region`` scales the §4.2 row sampling (the paper uses 1024 per
+    region; the default here keeps a laptop-scale run while spanning the
+    same three bank regions).  The nominal-latency, single-restoration
+    baseline is always measured so results can be normalized.
+    """
+    if not tras_factors:
+        raise CharacterizationError("need at least one tRAS factor")
+    config = config or _SWEEP_CONFIG
+    host = DRAMBenderHost(module_id, temperature_c=temperatures_c[0], seed=seed)
+    module = host.module
+    bank = select_test_bank(module_id, module.geometry.total_banks, seed)
+    if rows is None:
+        rows = select_test_rows(module.geometry.rows_per_bank, per_region)
+    # Only rows with two physical neighbors can be double-sided hammered
+    # (the mapping may place a logical row at the physical bank edge).
+    rows = tuple(r for r in rows
+                 if len(module.mapping.neighbors(r, 1)) == 2)
+    factors = tuple(dict.fromkeys((1.00,) + tuple(tras_factors)))
+    n_pr_values = tuple(dict.fromkeys((1,) + tuple(n_prs)))
+    result = ModuleCharacterization(module_id=module_id, seed=seed)
+    nominal = module.timing.tRAS
+    for temperature in temperatures_c:
+        host.set_temperature(temperature)
+        for victim in rows:
+            for factor in factors:
+                for n_pr in n_pr_values:
+                    measurement = measure_row(
+                        host, bank, victim,
+                        tras_red_ns=factor * nominal,
+                        n_pr=n_pr, config=config)
+                    result.add(measurement)
+    return result
+
+
+def sweep_tras(module_ids: tuple[str, ...], *,
+               tras_factors: tuple[float, ...] = TESTED_TRAS_FACTORS,
+               per_region: int = 342, seed: int = 2025,
+               ) -> dict[str, ModuleCharacterization]:
+    """Fig. 6/7/8/9 campaign: N_RH and BER vs charge-restoration latency."""
+    return {module_id: characterize_module(
+        module_id, tras_factors=tras_factors,
+        per_region=per_region, seed=seed)
+        for module_id in module_ids}
+
+
+def sweep_npr(module_ids: tuple[str, ...], *,
+              tras_factors: tuple[float, ...] = (0.64, 0.45, 0.36, 0.27),
+              n_prs: tuple[int, ...] = (1, 2, 4, 8),
+              per_region: int = 128, seed: int = 2025,
+              ) -> dict[str, ModuleCharacterization]:
+    """Fig. 11/12 campaign: N_RH vs repeated partial charge restoration."""
+    return {module_id: characterize_module(
+        module_id, tras_factors=tras_factors, n_prs=n_prs,
+        per_region=per_region, seed=seed)
+        for module_id in module_ids}
+
+
+def sweep_temperature(module_ids: tuple[str, ...], *,
+                      temperatures_c: tuple[float, ...] = (50.0, 65.0, 80.0),
+                      tras_factors: tuple[float, ...] = TESTED_TRAS_FACTORS,
+                      per_region: int = 128, seed: int = 2025,
+                      ) -> dict[str, ModuleCharacterization]:
+    """Fig. 10 campaign: combined temperature x latency effects."""
+    return {module_id: characterize_module(
+        module_id, tras_factors=tras_factors,
+        temperatures_c=temperatures_c,
+        per_region=per_region, seed=seed)
+        for module_id in module_ids}

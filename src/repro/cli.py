@@ -1,0 +1,179 @@
+"""Command-line interface: list and run the paper's experiments.
+
+Installed as ``repro-experiments``::
+
+    repro-experiments list
+    repro-experiments run fig4
+    repro-experiments run table4 --out table4.txt
+    repro-experiments catalog S6
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.analysis.experiments import EXPERIMENTS, run_experiment
+from repro.analysis.render import curve_table
+from repro.analysis.sweeprunner import SweepGrid, SweepRunner
+from repro.characterization.campaign import (
+    CampaignConfig,
+    CharacterizationCampaign,
+)
+from repro.dram.catalog import all_module_specs, module_spec
+from repro.dram.timing import TESTED_TRAS_FACTORS
+from repro.errors import ReproError
+from repro.sim.configloader import EvaluationConfig
+
+
+def _render(result: object) -> str:
+    """Best-effort text rendering of an experiment result."""
+    if isinstance(result, str):
+        return result
+    if isinstance(result, dict):
+        flat_numeric = all(isinstance(v, (int, float))
+                           for v in result.values())
+        if flat_numeric and result:
+            return curve_table(result)
+        lines = []
+        for key, value in result.items():
+            lines.append(f"[{key}]")
+            lines.append(repr(value))
+        return "\n".join(lines)
+    return repr(result)
+
+
+def cmd_list(_: argparse.Namespace) -> int:
+    width = max(len(identifier) for identifier in EXPERIMENTS)
+    for identifier, experiment in EXPERIMENTS.items():
+        print(f"{identifier:<{width}}  {experiment.description}")
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    result = run_experiment(args.experiment)
+    text = _render(result)
+    if args.out:
+        Path(args.out).write_text(text + "\n")
+        print(f"wrote {args.out}")
+    else:
+        print(text)
+    return 0
+
+
+def cmd_catalog(args: argparse.Namespace) -> int:
+    if args.module:
+        spec = module_spec(args.module)
+        print(f"{spec.module_id}: {spec.part_number} ({spec.form_factor}, "
+              f"{spec.die_density_gbit} Gb, die {spec.die_revision}, "
+              f"x{spec.device_width}, {spec.num_chips} chips)")
+        for factor in TESTED_TRAS_FACTORS:
+            value = spec.lowest_nrh[factor]
+            print(f"  {factor:.2f} x tRAS: lowest N_RH = {value}")
+        return 0
+    for spec in all_module_specs():
+        print(f"{spec.module_id:<5} {spec.part_number:<25} "
+              f"{spec.die_density_gbit:>3} Gb  x{spec.device_width}")
+    return 0
+
+
+def cmd_campaign(args: argparse.Namespace) -> int:
+    module_ids = (tuple(args.modules.split(","))
+                  if args.modules else CampaignConfig().module_ids)
+    config = CampaignConfig(module_ids=module_ids,
+                            per_region=args.rows)
+    campaign = CharacterizationCampaign(args.dir, config)
+    if args.status:
+        print(campaign.summary())
+        return 0
+    for module_id in campaign.config.module_ids:
+        campaign.run_module(module_id)
+        print(f"done {module_id}")
+    print(campaign.summary())
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    if args.config:
+        grid = EvaluationConfig.load(args.config).sweep_grid()
+    else:
+        grid = SweepGrid(
+            mitigations=tuple(args.mitigations.split(",")),
+            nrh_values=tuple(int(v) for v in args.nrh.split(",")),
+            requests=args.requests)
+    runner = SweepRunner(args.dir, grid)
+    if args.status:
+        done, total = runner.status()
+        print(f"{done}/{total} runs done")
+        return 0
+    rows = runner.run()
+    for (mitigation, label), series in runner.aggregate(rows).items():
+        values = " ".join(f"nrh={n}:{v:.4f}" for n, v in sorted(series.items()))
+        print(f"{mitigation:<9} {label:<9} {values}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Reproduce the PaCRAM paper's tables and figures.")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    list_parser = subparsers.add_parser("list", help="list all experiments")
+    list_parser.set_defaults(func=cmd_list)
+
+    run_parser = subparsers.add_parser("run", help="run one experiment")
+    run_parser.add_argument("experiment", choices=sorted(EXPERIMENTS))
+    run_parser.add_argument("--out", help="write the result to a file")
+    run_parser.set_defaults(func=cmd_run)
+
+    catalog_parser = subparsers.add_parser(
+        "catalog", help="show the tested-module catalog")
+    catalog_parser.add_argument("module", nargs="?",
+                                help="module id for per-module detail")
+    catalog_parser.set_defaults(func=cmd_catalog)
+
+    campaign_parser = subparsers.add_parser(
+        "campaign", help="run a resumable characterization campaign")
+    campaign_parser.add_argument("--dir", default="campaign_results",
+                                 help="results directory")
+    campaign_parser.add_argument("--modules",
+                                 help="comma-separated module ids (default: all 30)")
+    campaign_parser.add_argument("--rows", type=int, default=64,
+                                 help="rows per bank region")
+    campaign_parser.add_argument("--status", action="store_true",
+                                 help="only report progress")
+    campaign_parser.set_defaults(func=cmd_campaign)
+
+    sweep_parser = subparsers.add_parser(
+        "sweep", help="run a resumable system-evaluation sweep")
+    sweep_parser.add_argument("--dir", default="sweep_results",
+                              help="results directory")
+    sweep_parser.add_argument("--mitigations", default="PARA,RFM",
+                              help="comma-separated mitigation names")
+    sweep_parser.add_argument("--nrh", default="1024,64",
+                              help="comma-separated N_RH values")
+    sweep_parser.add_argument("--requests", type=int, default=2_000,
+                              help="memory requests per workload")
+    sweep_parser.add_argument("--config",
+                              help="JSON evaluation-config file (overrides "
+                                   "the other grid flags; see A.6)")
+    sweep_parser.add_argument("--status", action="store_true",
+                              help="only report progress")
+    sweep_parser.set_defaults(func=cmd_sweep)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

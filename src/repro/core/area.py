@@ -1,0 +1,57 @@
+"""Hardware-cost model for PaCRAM's metadata (§8.4, CACTI-calibrated).
+
+PaCRAM stores one bit per DRAM row (the FR vector) in memory-controller
+SRAM.  The paper reports, via CACTI: 0.0069 mm^2 and 8 KB per 64K-row bank,
+0.27 ns access latency, and 0.09 % of a high-end Intel Xeon processor for a
+dual-rank, 16-banks-per-rank system.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+
+#: Reference die area of the high-end Intel Xeon the paper compares against.
+XEON_DIE_MM2 = 246.0
+#: Memory-controller share of that die (the paper cites 1.35 % of the MC).
+MEMORY_CONTROLLER_MM2 = 16.4
+#: CACTI-derived SRAM area for one bank's FR slice (64K rows -> 8 KB).
+_AREA_PER_64K_ROWS_MM2 = 0.0069
+#: CACTI-derived access latency of the FR SRAM.
+_FR_ACCESS_LATENCY_NS = 0.27
+#: DRAM row-activation latency the access must hide under (tRCD-ish).
+ROW_ACTIVATION_LATENCY_NS = 14.0
+
+
+def fr_storage_bytes(rows_per_bank: int) -> int:
+    """FR bits for one bank, in bytes (one bit per row)."""
+    if rows_per_bank <= 0:
+        raise ConfigError("rows_per_bank must be positive")
+    return (rows_per_bank + 7) // 8
+
+
+def fr_area_mm2(banks: int, rows_per_bank: int = 65_536) -> float:
+    """FR-vector SRAM area for a system with ``banks`` banks."""
+    if banks <= 0:
+        raise ConfigError("banks must be positive")
+    return banks * _AREA_PER_64K_ROWS_MM2 * rows_per_bank / 65_536
+
+
+def fr_access_latency_ns() -> float:
+    """FR SRAM access latency; hidden under the row activation (§8.4)."""
+    return _FR_ACCESS_LATENCY_NS
+
+
+def fr_area_fraction_of_xeon(banks: int, rows_per_bank: int = 65_536) -> float:
+    """PaCRAM area as a fraction of the reference Xeon die (~0.09 %)."""
+    return fr_area_mm2(banks, rows_per_bank) / XEON_DIE_MM2
+
+
+def fr_area_fraction_of_controller(banks: int,
+                                   rows_per_bank: int = 65_536) -> float:
+    """PaCRAM area as a fraction of the memory-controller area (~1.35 %)."""
+    return fr_area_mm2(banks, rows_per_bank) / MEMORY_CONTROLLER_MM2
+
+
+def access_latency_hidden() -> bool:
+    """The 0.27 ns lookup hides under the ~14 ns row activation (§8.4)."""
+    return fr_access_latency_ns() < ROW_ACTIVATION_LATENCY_NS

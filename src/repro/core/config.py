@@ -1,0 +1,145 @@
+"""PaCRAM configuration from characterization data (§8.3, §9.1).
+
+A :class:`PaCRAMConfig` binds one DRAM module to one reduced
+charge-restoration latency: the latency factor, the measured ``N_RH``
+reduction ratio at that latency (used to scale the mitigation's threshold),
+the maximum number of consecutive partial restorations ``N_PCR``, and the
+derived full-charge-restoration interval ``t_FCRI``.
+
+Configs can be built two ways:
+
+* :meth:`PaCRAMConfig.from_catalog` — straight from the paper's Table 4
+  (how the paper configures PaCRAM-H / -M / -S);
+* :meth:`PaCRAMConfig.from_characterization` — from a characterization run
+  produced by this library's own Algorithm 1 pipeline (the §10 profiling
+  flow).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.characterization.results import ModuleCharacterization
+from repro.dram.catalog import module_spec
+from repro.dram.timing import TimingParams, ddr4_timing
+from repro.errors import CharacterizationError, ConfigError
+
+
+def full_charge_restoration_interval_ns(nrh: int, tras_red_ns: float,
+                                        npcr: int,
+                                        timing: TimingParams | None = None) -> float:
+    """t_FCRI = N_PCR x (N_RH x tRC + tRAS(Red) + tRP)  (§8.3).
+
+    The smallest time window in which N_PCR preventive refreshes can occur
+    under worst-case hammering (one preventive refresh per N_RH activations,
+    each activation taking tRC).
+    """
+    if nrh <= 0 or npcr <= 0:
+        raise ConfigError("N_RH and N_PCR must be positive")
+    if tras_red_ns <= 0:
+        raise ConfigError("tRAS(Red) must be positive")
+    timing = timing or ddr4_timing()
+    per_refresh_interval = nrh * timing.tRC + tras_red_ns + timing.tRP
+    return npcr * per_refresh_interval
+
+
+@dataclass(frozen=True)
+class PaCRAMConfig:
+    """One (module, reduced latency) operating point for PaCRAM."""
+
+    module_id: str
+    tras_factor: float  #: reduced latency as a fraction of nominal tRAS
+    nrh_reduction_ratio: float  #: N_RH(reduced, N_PCR) / N_RH(nominal)
+    nrh_reduced: int  #: lowest N_RH under this operating point
+    npcr: int  #: max consecutive partial restorations
+    tfcri_ns: float  #: full-charge-restoration interval
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.tras_factor <= 1.0:
+            raise ConfigError("tras_factor must be in (0, 1]")
+        if not 0.0 < self.nrh_reduction_ratio <= 1.5:
+            raise ConfigError("nrh_reduction_ratio out of plausible range")
+        if self.npcr < 1:
+            raise ConfigError("N_PCR must be >= 1")
+        if self.tfcri_ns <= 0:
+            raise ConfigError("t_FCRI must be positive")
+
+    def scaled_nrh(self, configured_nrh: int) -> int:
+        """The mitigation's N_RH after PaCRAM's security adjustment (§8.2).
+
+        E.g. module H5 at 0.27 tRAS loses 8 % of N_RH, so a mitigation
+        configured for 1024 runs at 942.
+        """
+        if configured_nrh <= 0:
+            raise ConfigError("configured N_RH must be positive")
+        return max(1, int(configured_nrh * min(self.nrh_reduction_ratio, 1.0)))
+
+    def all_refreshes_partial(self, trefw_ns: float) -> bool:
+        """Footnote 6: if t_FCRI exceeds the refresh window, periodic refresh
+        fully restores every row before N_PCR partial restorations can
+        accumulate, so *every* preventive refresh may be partial."""
+        return self.tfcri_ns > trefw_ns
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_catalog(cls, module_id: str, tras_factor: float,
+                     timing: TimingParams | None = None) -> "PaCRAMConfig":
+        """Build from the paper's Table 4 for one of the 30 tested modules.
+
+        Raises :class:`ConfigError` for N/A cells (PaCRAM not applicable at
+        that latency for that module).
+        """
+        spec = module_spec(module_id)
+        nominal = spec.nominal_nrh
+        if nominal is None:
+            raise ConfigError(
+                f"module {module_id} shows no bitflips; PaCRAM needs N_RH data")
+        try:
+            params = spec.pacram[tras_factor]
+        except KeyError:
+            raise ConfigError(
+                f"{tras_factor} is not a tested reduced latency") from None
+        if params is None:
+            raise ConfigError(
+                f"PaCRAM is not applicable to {module_id} at "
+                f"{tras_factor} x tRAS (Table 4 N/A cell)")
+        timing = timing or ddr4_timing()
+        tfcri = full_charge_restoration_interval_ns(
+            params.nrh, tras_factor * timing.tRAS, params.npcr, timing)
+        return cls(
+            module_id=module_id, tras_factor=tras_factor,
+            nrh_reduction_ratio=params.nrh / nominal,
+            nrh_reduced=params.nrh, npcr=params.npcr, tfcri_ns=tfcri)
+
+    @classmethod
+    def from_characterization(cls, characterization: ModuleCharacterization,
+                              tras_factor: float, *,
+                              npcr: int,
+                              timing: TimingParams | None = None,
+                              ) -> "PaCRAMConfig":
+        """Build from a characterization run of this library's pipeline."""
+        try:
+            nominal = characterization.lowest_nrh(1.00, n_pr=1)
+        except CharacterizationError:
+            nominal = None
+        if not nominal:
+            raise ConfigError("characterization lacks a nominal N_RH baseline")
+        # Table-4 semantics: prefer the measurement taken after N_PCR
+        # consecutive partial restorations; fall back to single-restoration.
+        try:
+            reduced = characterization.lowest_nrh(tras_factor, n_pr=npcr)
+        except CharacterizationError:
+            reduced = characterization.lowest_nrh(tras_factor, n_pr=1)
+        if not reduced:
+            raise ConfigError(
+                f"module is not safely operable at {tras_factor} x tRAS "
+                f"(retention failures or no data)")
+        timing = timing or ddr4_timing()
+        tfcri = full_charge_restoration_interval_ns(
+            reduced, tras_factor * timing.tRAS, npcr, timing)
+        return cls(
+            module_id=characterization.module_id, tras_factor=tras_factor,
+            nrh_reduction_ratio=reduced / nominal,
+            nrh_reduced=reduced, npcr=npcr, tfcri_ns=tfcri)

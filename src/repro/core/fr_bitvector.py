@@ -1,0 +1,54 @@
+"""The fully-restored (FR) bit vector (§8.3).
+
+One bit per DRAM row: set (F-state) means the row's next preventive refresh
+must use *full* charge restoration; clear (P-state) means partial
+restoration is safe.  All rows start in F, a full restoration moves a row to
+P, and PaCRAM periodically pulls every row back to F — once per
+``t_FCRI`` — so no row ever receives more than ``N_PCR`` consecutive
+partial restorations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+
+class FRBitVector:
+    """Per-row F/P state for one DRAM module, as the SRAM array would hold it."""
+
+    def __init__(self, banks: int, rows_per_bank: int) -> None:
+        if banks <= 0 or rows_per_bank <= 0:
+            raise ConfigError("banks and rows_per_bank must be positive")
+        self.banks = banks
+        self.rows_per_bank = rows_per_bank
+        # True = F-state (needs full restoration).
+        self._bits = np.ones((banks, rows_per_bank), dtype=bool)
+
+    def needs_full_restoration(self, bank: int, row: int) -> bool:
+        """Whether the row is in F-state."""
+        self._check(bank, row)
+        return bool(self._bits[bank, row])
+
+    def mark_fully_restored(self, bank: int, row: int) -> None:
+        """Full charge restoration performed: row moves to P-state."""
+        self._check(bank, row)
+        self._bits[bank, row] = False
+
+    def reset_all(self) -> None:
+        """Periodic t_FCRI reset: every row returns to F-state."""
+        self._bits[:] = True
+
+    def fraction_in_f_state(self) -> float:
+        """Fraction of rows currently requiring full restoration."""
+        return float(self._bits.mean())
+
+    @property
+    def storage_bits(self) -> int:
+        """SRAM bits this vector occupies (one per row)."""
+        return self.banks * self.rows_per_bank
+
+    def _check(self, bank: int, row: int) -> None:
+        if not (0 <= bank < self.banks and 0 <= row < self.rows_per_bank):
+            raise ConfigError(f"(bank={bank}, row={row}) out of range")

@@ -1,0 +1,58 @@
+"""Appendix B: extending PaCRAM to periodic refreshes.
+
+Periodic refresh restores every row once per refresh window, so PaCRAM can
+use reduced charge restoration for ``N_PCR`` consecutive windows and then
+one nominal-latency window to fully restore all cells.  A single counter of
+refresh windows suffices (Appendix B's implementation).
+"""
+
+from __future__ import annotations
+
+from repro.core.config import PaCRAMConfig
+from repro.errors import ConfigError
+from repro.sim.config import SystemConfig
+from repro.sim.controller import RefreshLatencyPolicy
+
+
+class PeriodicPaCRAM(RefreshLatencyPolicy):
+    """Reduced-latency periodic refreshes with a window counter.
+
+    ``latency_factor_rfc`` scales the periodic refresh latency (tRFC) — the
+    knob swept in Fig. 19.  Every ``npcr`` reduced windows, one window runs
+    at nominal latency.
+    """
+
+    def __init__(self, config: SystemConfig, *,
+                 latency_factor_rfc: float,
+                 npcr: int = 10,
+                 pacram_config: PaCRAMConfig | None = None) -> None:
+        super().__init__(config)
+        if not 0.0 < latency_factor_rfc <= 1.0:
+            raise ConfigError("latency_factor_rfc must be in (0, 1]")
+        if npcr < 1:
+            raise ConfigError("npcr must be >= 1")
+        self.latency_factor_rfc = latency_factor_rfc
+        self.npcr = npcr
+        self.pacram = pacram_config
+        self._windows_reduced = 0
+        self._refreshes_seen = 0
+        self._refreshes_per_window = round(config.timing.tREFW
+                                           / config.timing.tREFI)
+
+    def periodic_refresh_scale(self) -> float:
+        """Latency scale for the next periodic refresh command."""
+        self._refreshes_seen += 1
+        if self._refreshes_seen >= self._refreshes_per_window:
+            self._refreshes_seen = 0
+            self._windows_reduced += 1
+            if self._windows_reduced > self.npcr:
+                self._windows_reduced = 0
+        if self._windows_reduced >= self.npcr:
+            return 1.0  # nominal window: full charge restoration
+        return self.latency_factor_rfc
+
+    def preventive_tras_ns(self, flat_bank: int, row: int,
+                           now_ns: float) -> tuple[float, bool]:
+        """Preventive refreshes stay nominal in the Appendix-B study (it
+        evaluates a configuration with no RowHammer mitigation enabled)."""
+        return self.config.timing.tRAS, True

@@ -1,0 +1,61 @@
+"""Profiling-cost model (§10).
+
+PaCRAM needs per-module characterization data.  §10 describes an optimized
+profiling methodology: because every test ends with a ``tREFW`` (64 ms)
+idle wait, many rows' tests overlap — 1270 rows are tested concurrently —
+and quantifies its cost: 80 s per 1270-row batch, 127 KB/s of profiling
+throughput, 68.8 minutes per 64K-row bank, blocking only 9.9 MB at a time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.units import MS
+
+#: Rows whose tREFW waits are overlapped in one profiling batch.
+CONCURRENT_ROWS = 1270
+#: Bytes per DRAM row.
+ROW_BYTES = 8192
+
+
+@dataclass(frozen=True)
+class ProfilingCost:
+    """Cost summary of profiling one DRAM bank."""
+
+    batch_seconds: float
+    throughput_bytes_per_s: float
+    bank_minutes: float
+    blocked_bytes: int
+
+
+def profiling_cost(*, tras_values: int = 5, npcr_values: int = 10,
+                   hammer_counts: int = 5, iterations: int = 5,
+                   rows_per_bank: int = 65_536,
+                   trefw_ns: float = 64 * MS,
+                   concurrent_rows: int = CONCURRENT_ROWS) -> ProfilingCost:
+    """Compute §10's profiling cost for a given test-matrix size.
+
+    With the defaults this reproduces the paper's numbers: an 80 s batch,
+    127 KB/s throughput, and 68.8 minutes per bank.
+    """
+    for name, value in (("tras_values", tras_values),
+                        ("npcr_values", npcr_values),
+                        ("hammer_counts", hammer_counts),
+                        ("iterations", iterations),
+                        ("rows_per_bank", rows_per_bank),
+                        ("concurrent_rows", concurrent_rows)):
+        if value <= 0:
+            raise ConfigError(f"{name} must be positive")
+    tests_per_row = tras_values * npcr_values * hammer_counts * iterations
+    batch_seconds = tests_per_row * trefw_ns / 1e9
+    throughput = concurrent_rows * ROW_BYTES / batch_seconds
+    batches = rows_per_bank / concurrent_rows
+    bank_minutes = batches * batch_seconds / 60.0
+    return ProfilingCost(
+        batch_seconds=batch_seconds,
+        throughput_bytes_per_s=throughput,
+        bank_minutes=bank_minutes,
+        blocked_bytes=concurrent_rows * ROW_BYTES,
+    )

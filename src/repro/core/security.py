@@ -1,0 +1,138 @@
+"""Security validation of PaCRAM-adjusted mitigations (§8.2).
+
+The paper's security argument: a mitigation integrated with PaCRAM is
+exactly as secure as the same mitigation configured for the *reduced*
+``N_RH``, because PaCRAM (i) scales the configured threshold by the
+measured reduction ratio and (ii) bounds consecutive partial restorations
+via ``t_FCRI``.
+
+This module closes the loop between the two halves of the library: it runs
+a worst-case attacker — activating aggressor rows back-to-back at the
+maximum rate the command timing allows — through a mitigation mechanism,
+applies every preventive refresh the mechanism triggers to the *device
+model's* victim row at the latency PaCRAM selects, and checks whether the
+victim ever accumulates enough disturbance to flip.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import PaCRAMConfig
+from repro.dram.disturbance import DataPattern
+from repro.dram.module import DRAMModule
+from repro.errors import ConfigError
+from repro.mitigations.base import (
+    MetadataAccess,
+    MitigationMechanism,
+    PreventiveRefresh,
+    RfmCommand,
+)
+
+
+@dataclass(frozen=True)
+class AttackOutcome:
+    """Result of one worst-case attack simulation."""
+
+    activations_per_aggressor: int
+    preventive_refreshes: int
+    victim_bitflips: int
+    max_unrefreshed_run: int  #: longest victim exposure, in aggressor acts
+
+    @property
+    def defended(self) -> bool:
+        return self.victim_bitflips == 0
+
+
+def worst_case_attack(module: DRAMModule, mitigation: MitigationMechanism,
+                      *, victim: int = 1000, bank: int = 0,
+                      duration_acts: int = 200_000,
+                      pacram: PaCRAMConfig | None = None,
+                      refresh_chunk: int = 64) -> AttackOutcome:
+    """Double-sided hammering at maximum rate against a defended module.
+
+    The attacker alternates activations of the victim's two physical
+    neighbors; every activation is reported to ``mitigation``; triggered
+    preventive refreshes restore the victim on the device model — at the
+    reduced latency when ``pacram`` is given (with the first refresh of each
+    ``t_FCRI`` interval at full latency, as the FR vector dictates).
+
+    The mechanism must be configured for the PaCRAM-scaled threshold by the
+    caller; this function validates the *outcome*: zero victim bitflips.
+    """
+    if duration_acts <= 0:
+        raise ConfigError("attack duration must be positive")
+    mapping = module.mapping
+    aggressors = mapping.neighbors(victim, 1)
+    if len(aggressors) != 2:
+        raise ConfigError(f"victim {victim} lacks two neighbors")
+    pattern = module.row_population(bank, victim).worst_case_pattern()
+    module.write_row(bank, victim, pattern)
+    for row in aggressors:
+        module.write_row(bank, row, pattern)
+
+    timing = module.timing
+    reduced_tras = (pacram.tras_factor * timing.tRAS) if pacram else None
+    needs_full = True  # FR vector: first preventive refresh is full
+    acts_since_interval = 0.0
+    interval_budget = pacram.tfcri_ns if pacram else float("inf")
+
+    refreshes = 0
+    unrefreshed = 0
+    max_unrefreshed = 0
+    done = 0
+    while done < duration_acts:
+        # The device accumulates disturbance in chunks for speed; the
+        # mechanism observes every individual activation.
+        chunk = min(refresh_chunk, duration_acts - done)
+        module.hammer(bank, aggressors, chunk)
+        done += chunk
+        unrefreshed += chunk
+        max_unrefreshed = max(max_unrefreshed, unrefreshed)
+        triggers = 0
+        for _ in range(chunk):
+            for row in aggressors:
+                for action in mitigation.on_activation(
+                        bank, row, module.clock_ns):
+                    if isinstance(action, (PreventiveRefresh, RfmCommand)):
+                        triggers += 1
+                    elif isinstance(action, MetadataAccess):
+                        continue
+        for _ in range(triggers):
+            if pacram is not None:
+                acts_since_interval += chunk * timing.tRC * 2
+                if acts_since_interval >= interval_budget:
+                    needs_full = True
+                    acts_since_interval = 0.0
+                tras = timing.tRAS if needs_full else reduced_tras
+                needs_full = False
+            else:
+                tras = timing.tRAS
+            module.activate(bank, victim, tras_ns=tras)
+            refreshes += 1
+            unrefreshed = 0
+    population = module.row_population(bank, victim)
+    state = module.row_state(bank, victim)
+    bitflips = population.hammer_flips(
+        state.dose, factor=state.restore_factor,
+        n_pr=max(1, state.consecutive_partial),
+        temperature_c=module.temperature_c, pattern=pattern)
+    return AttackOutcome(
+        activations_per_aggressor=duration_acts,
+        preventive_refreshes=refreshes,
+        victim_bitflips=bitflips,
+        max_unrefreshed_run=max_unrefreshed)
+
+
+def secure_configuration(module_id: str, configured_nrh: int,
+                         pacram: PaCRAMConfig) -> int:
+    """The threshold a mitigation must be configured with under PaCRAM.
+
+    This is the §8.2 adjustment: ``N_RH' = N_RH x reduction_ratio``, so the
+    mechanism triggers preventive refreshes before a partially-restored
+    victim (whose threshold dropped by the same ratio) can flip.
+    """
+    if pacram.module_id != module_id:
+        raise ConfigError(
+            f"PaCRAM config is for {pacram.module_id}, not {module_id}")
+    return pacram.scaled_nrh(configured_nrh)

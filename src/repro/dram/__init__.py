@@ -1,0 +1,38 @@
+"""DRAM device substrate.
+
+This package models everything the paper's FPGA-based testing platform needed
+real hardware for: DDR4 timing, module geometry, vendor-specific
+charge-restoration physics, read-disturbance (RowHammer / Half-Double)
+behavior, data-retention behavior, internal row address mapping, and a
+command-level device model (:class:`~repro.dram.module.DRAMModule`) that the
+software DRAM Bender (:mod:`repro.bender`) drives.
+
+The behavioral model is calibrated to the paper's published per-module
+measurements (Appendix C, Tables 3 and 4); see ``repro/dram/catalog.py``.
+"""
+
+from repro.dram.timing import TimingParams, ddr4_timing, ddr5_timing
+from repro.dram.geometry import ModuleGeometry
+from repro.dram.vendor import Manufacturer, VendorProfile, vendor_profile
+from repro.dram.catalog import (
+    ModuleSpec,
+    all_module_ids,
+    module_spec,
+    modules_by_manufacturer,
+)
+from repro.dram.module import DRAMModule
+
+__all__ = [
+    "TimingParams",
+    "ddr4_timing",
+    "ddr5_timing",
+    "ModuleGeometry",
+    "Manufacturer",
+    "VendorProfile",
+    "vendor_profile",
+    "ModuleSpec",
+    "all_module_ids",
+    "module_spec",
+    "modules_by_manufacturer",
+    "DRAMModule",
+]

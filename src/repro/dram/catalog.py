@@ -1,0 +1,441 @@
+"""The tested-module catalog: the paper's Appendix C, as data.
+
+The paper characterizes 388 DDR4 chips on 30 modules (Table 1) and reports,
+for every module, the lowest observed RowHammer threshold ``N_RH`` at each
+tested charge-restoration latency (Table 3) and the PaCRAM configuration
+parameters — ``N_RH`` under repeated partial restoration, the maximum safe
+number of consecutive partial restorations ``N_PCR``, and the full-charge-
+restoration interval ``t_FCRI`` (Table 4).
+
+This module transcribes those tables.  They serve two purposes:
+
+1. **Calibration** — the behavioral device model uses a module's normalized
+   ``N_RH``-vs-``tRAS`` curve as the ground-truth restoration physics, so the
+   characterization pipeline (Algorithm 1) *measures back* the published
+   values.
+2. **Validation** — tests cross-check the §8.3 ``t_FCRI`` formula against the
+   printed values.
+
+All ``N_RH`` values are aggressor-row activation counts; ``0`` means the
+module exhibits bitflips **without hammering** at that latency (data-retention
+failure, the red cells of Table 3); ``None`` means no bitflips were observed
+at all (module H0) or the configuration is not applicable (Table 4 N/A
+cells).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.dram.timing import TESTED_TRAS_FACTORS
+from repro.dram.vendor import Manufacturer
+from repro.errors import ConfigError, UnknownModuleError
+from repro.units import MS, S, US
+
+#: Table-4 columns: the reduced latencies (nominal 1.00 is not a PaCRAM mode).
+PACRAM_TRAS_FACTORS: tuple[float, ...] = (0.81, 0.64, 0.45, 0.36, 0.27, 0.18)
+
+#: The largest number of consecutive partial restorations the paper tested.
+MAX_TESTED_NPCR: int = 15_000
+
+
+@dataclass(frozen=True)
+class PaCRAMParams:
+    """One Table-4 cell: PaCRAM parameters at one reduced latency.
+
+    ``nrh`` is the module's lowest ``N_RH`` when victim rows receive up to
+    ``npcr`` consecutive partial restorations; ``tfcri_ns`` is the published
+    full-charge-restoration interval.
+    """
+
+    nrh: int
+    npcr: int
+    tfcri_ns: float
+
+
+@dataclass(frozen=True)
+class ModuleSpec:
+    """Everything the paper publishes about one tested module."""
+
+    module_id: str
+    part_number: str
+    form_factor: str  #: "U-DIMM" | "R-DIMM" | "SO-DIMM"
+    die_density_gbit: int
+    die_revision: str
+    device_width: int
+    date_code: str  #: WWYY, or "N/A"
+    num_chips: int
+    #: Table 3: lowest observed N_RH per tRAS factor.  0 = retention bitflips,
+    #: None = no bitflips observed.
+    lowest_nrh: dict[float, int | None]
+    #: Table 4: PaCRAM parameters per reduced tRAS factor (None = N/A cell).
+    pacram: dict[float, PaCRAMParams | None] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        missing = [f for f in TESTED_TRAS_FACTORS if f not in self.lowest_nrh]
+        if missing:
+            raise ConfigError(f"{self.module_id}: missing Table-3 factors {missing}")
+        missing = [f for f in PACRAM_TRAS_FACTORS if f not in self.pacram]
+        if missing:
+            raise ConfigError(f"{self.module_id}: missing Table-4 factors {missing}")
+
+    @property
+    def manufacturer(self) -> Manufacturer:
+        """The module's manufacturer, inferred from its id."""
+        return Manufacturer.from_module_id(self.module_id)
+
+    @property
+    def nominal_nrh(self) -> int | None:
+        """Lowest N_RH at the nominal latency (None if no bitflips)."""
+        return self.lowest_nrh[1.00]
+
+    def nrh_ratio(self, factor: float) -> float | None:
+        """Normalized lowest N_RH at ``factor`` (Table 3 parenthesized value).
+
+        Returns ``None`` when the module shows no bitflips at all; ``0.0``
+        when the latency causes retention failures.
+        """
+        nominal = self.nominal_nrh
+        if nominal is None:
+            return None
+        value = self.lowest_nrh.get(factor)
+        if value is None:
+            raise ConfigError(f"{self.module_id}: untested factor {factor}")
+        return value / nominal
+
+    def vulnerable(self) -> bool:
+        """Whether the module exhibits any RowHammer bitflips."""
+        return self.nominal_nrh is not None
+
+    @staticmethod
+    def row_bits() -> int:
+        """Cells (bits) per DRAM row: rows hold 8 KB of data (§10)."""
+        return 8192 * 8
+
+
+def _nrh(*values: int | None) -> dict[float, int | None]:
+    """Build a Table-3 row from seven values ordered by TESTED_TRAS_FACTORS."""
+    if len(values) != len(TESTED_TRAS_FACTORS):
+        raise ConfigError(f"expected {len(TESTED_TRAS_FACTORS)} values, got {len(values)}")
+    return dict(zip(TESTED_TRAS_FACTORS, values))
+
+
+def _pacram(*cells: tuple[int, int, float] | None) -> dict[float, PaCRAMParams | None]:
+    """Build a Table-4 row from six (nrh, npcr, tfcri_ns) cells or None."""
+    if len(cells) != len(PACRAM_TRAS_FACTORS):
+        raise ConfigError(f"expected {len(PACRAM_TRAS_FACTORS)} cells, got {len(cells)}")
+    out: dict[float, PaCRAMParams | None] = {}
+    for factor, cell in zip(PACRAM_TRAS_FACTORS, cells):
+        out[factor] = None if cell is None else PaCRAMParams(*cell)
+    return out
+
+
+_NOFLIP = _nrh(None, None, None, None, None, None, None)
+_NA6 = _pacram(None, None, None, None, None, None)
+
+# Table 1 + Table 3 + Table 4, transcribed.  N_RH values are in activations
+# ("56.2K" -> 56_200); t_FCRI values use the paper's printed magnitudes.
+_CATALOG: dict[str, ModuleSpec] = {}
+
+
+def _add(spec: ModuleSpec) -> None:
+    if spec.module_id in _CATALOG:
+        raise ConfigError(f"duplicate module id {spec.module_id}")
+    _CATALOG[spec.module_id] = spec
+
+
+# ----------------------------- Mfr. H (SK Hynix) -----------------------------
+_add(ModuleSpec(
+    "H0", "H5AN4G8NMFR-TFC", "SO-DIMM", 4, "M", 8, "N/A", 8,
+    lowest_nrh=_NOFLIP, pacram=_NA6,
+))
+_add(ModuleSpec(
+    "H1", "Unknown", "SO-DIMM", 4, "X", 8, "N/A", 8,
+    lowest_nrh=_nrh(56_200, 53_100, 55_500, 56_200, 55_500, 45_300, 44_100),
+    pacram=_pacram(
+        (50_000, 15_000, 36.0 * S), (49_600, 15_000, 35.7 * S),
+        (50_000, 15_000, 36.0 * S), (50_000, 15_000, 36.0 * S),
+        (47_700, 15_000, 34.3 * S), (44_100, 1, 2 * MS),
+    ),
+))
+_add(ModuleSpec(
+    "H2", "H5AN4G8NAFR-TFC", "SO-DIMM", 4, "A", 8, "N/A", 8,
+    lowest_nrh=_nrh(39_100, 40_600, 40_600, 39_100, 39_100, 39_100, 37_900),
+    pacram=_pacram(
+        (34_800, 15_000, 25.0 * S), (34_800, 15_000, 25.0 * S),
+        (34_800, 15_000, 25.0 * S), (34_800, 15_000, 25.0 * S),
+        (34_400, 15_000, 24.8 * S), (37_900, 1, 1 * MS),
+    ),
+))
+_add(ModuleSpec(
+    "H3", "H5AN8G4NMFR-UKC", "R-DIMM", 8, "M", 4, "N/A", 32,
+    lowest_nrh=_nrh(59_800, 59_800, 59_800, 59_400, 56_200, 56_200, 55_900),
+    pacram=_pacram(
+        (56_200, 15_000, 40.5 * S), (57_000, 15_000, 41.1 * S),
+        (56_200, 15_000, 40.5 * S), (56_200, 15_000, 40.5 * S),
+        (56_200, 15_000, 40.5 * S), (55_900, 1, 2 * MS),
+    ),
+))
+_add(ModuleSpec(
+    "H4", "H5AN8G8NDJR-XNC", "R-DIMM", 8, "D", 8, "2048", 16,
+    lowest_nrh=_nrh(11_700, 11_700, 11_700, 11_700, 11_700, 10_200, 0),
+    pacram=_pacram(
+        (10_900, 15_000, 7.9 * S), (10_900, 15_000, 7.9 * S),
+        (10_900, 15_000, 7.9 * S), (10_900, 15_000, 7.9 * S),
+        (10_200, 1, 489 * US), None,
+    ),
+))
+_add(ModuleSpec(
+    "H5", "H5AN8G8NDJR-XNC", "R-DIMM", 8, "D", 8, "2048", 16,
+    lowest_nrh=_nrh(10_200, 10_900, 10_200, 10_900, 10_200, 10_200, 0),
+    pacram=_pacram(
+        (10_200, 15_000, 7.3 * S), (10_200, 15_000, 7.3 * S),
+        (10_200, 15_000, 7.3 * S), (10_200, 15_000, 7.3 * S),
+        (9_400, 300, 135 * MS), None,
+    ),
+))
+_add(ModuleSpec(
+    "H6", "H5AN8G4NAFR-VKC", "R-DIMM", 8, "A", 4, "N/A", 32,
+    lowest_nrh=_nrh(23_800, 23_800, 23_800, 23_400, 22_300, 22_300, 18_000),
+    pacram=_pacram(
+        (22_700, 15_000, 16.3 * S), (22_700, 15_000, 16.3 * S),
+        (22_700, 15_000, 16.3 * S), (22_300, 15_000, 16.0 * S),
+        (22_300, 15_000, 16.0 * S), (18_000, 1, 864 * US),
+    ),
+))
+_add(ModuleSpec(
+    "H7", "H5ANAG8NCJR-XNC", "U-DIMM", 16, "C", 8, "2136", 16,
+    lowest_nrh=_nrh(8_600, 8_600, 7_800, 8_600, 8_600, 7_000, 0),
+    pacram=_pacram(
+        (8_600, 15_000, 6.2 * S), (7_800, 15_000, 5.6 * S),
+        (7_800, 15_000, 5.6 * S), (7_800, 15_000, 5.6 * S),
+        (6_200, 15_000, 4.5 * S), None,
+    ),
+))
+_add(ModuleSpec(
+    "H8", "H5ANAG8NCJR-XNC", "U-DIMM", 16, "C", 8, "2136", 16,
+    lowest_nrh=_nrh(10_500, 10_500, 10_200, 8_600, 8_600, 7_800, 0),
+    pacram=_pacram(
+        (7_800, 15_000, 5.6 * S), (7_800, 15_000, 5.6 * S),
+        (7_800, 15_000, 5.6 * S), (7_800, 15_000, 5.6 * S),
+        (6_200, 15_000, 4.5 * S), None,
+    ),
+))
+
+# ------------------------------ Mfr. M (Micron) ------------------------------
+_add(ModuleSpec(
+    "M0", "MT40A2G4WE-083E:B", "R-DIMM", 8, "B", 4, "N/A", 16,
+    lowest_nrh=_nrh(43_800, 44_500, 44_500, 44_500, 44_500, 44_500, 44_500),
+    pacram=_pacram(*[(43_800, 15_000, 31.5 * S)] * 6),
+))
+_add(ModuleSpec(
+    "M1", "MT40A2G4WE-083E:B", "R-DIMM", 8, "B", 4, "N/A", 16,
+    lowest_nrh=_nrh(37_100, 37_900, 37_900, 37_900, 37_900, 37_900, 37_900),
+    pacram=_pacram(
+        (43_400, 15_000, 31.2 * S), (40_600, 15_000, 29.3 * S),
+        (39_500, 15_000, 28.4 * S), (39_100, 15_000, 28.1 * S),
+        (40_600, 15_000, 29.3 * S), (40_600, 15_000, 29.3 * S),
+    ),
+))
+_add(ModuleSpec(
+    "M2", "MT40A2G4WE-083E:B", "R-DIMM", 8, "B", 4, "N/A", 16,
+    lowest_nrh=_nrh(42_600, 43_800, 44_100, 44_100, 44_100, 44_100, 44_100),
+    pacram=_pacram(*[(37_100, 15_000, 26.7 * S)] * 6),
+))
+_add(ModuleSpec(
+    "M3", "MT40A2G8SA-062E:F", "SO-DIMM", 16, "F", 8, "2237", 16,
+    lowest_nrh=_nrh(6_200, 6_200, 6_200, 6_200, 6_200, 6_200, 6_200),
+    pacram=_pacram(*[(5_500, 15_000, 3.9 * S)] * 6),
+))
+_add(ModuleSpec(
+    "M4", "MT40A1G16KD-062E:E", "SO-DIMM", 16, "E", 16, "2046", 4,
+    lowest_nrh=_nrh(5_100, 5_100, 5_100, 5_100, 5_100, 5_100, 5_100),
+    pacram=_pacram(
+        (5_900, 15_000, 4.2 * S), (5_500, 15_000, 3.9 * S),
+        (5_500, 15_000, 3.9 * S), (5_500, 15_000, 3.9 * S),
+        (5_500, 15_000, 3.9 * S), (5_500, 15_000, 3.9 * S),
+    ),
+))
+_add(ModuleSpec(
+    "M5", "MT40A4G4JC-062E:E", "R-DIMM", 16, "E", 4, "2014", 32,
+    lowest_nrh=_nrh(5_900, 5_900, 5_900, 5_900, 5_900, 5_900, 5_500),
+    pacram=_pacram(
+        (6_600, 15_000, 4.8 * S), (6_200, 15_000, 4.5 * S),
+        (6_200, 15_000, 4.5 * S), (6_200, 15_000, 4.5 * S),
+        (6_200, 15_000, 4.5 * S), (6_200, 15_000, 4.5 * S),
+    ),
+))
+_add(ModuleSpec(
+    "M6", "MT40A1G16RC-062E:B", "SO-DIMM", 16, "B", 16, "2126", 4,
+    lowest_nrh=_nrh(13_300, 13_300, 13_300, 13_300, 13_300, 13_300, 13_300),
+    pacram=_pacram(*[(13_300, 15_000, 9.6 * S)] * 6),
+))
+
+# ----------------------------- Mfr. S (Samsung) ------------------------------
+_add(ModuleSpec(
+    "S0", "K4A4G085WF-BCTD", "U-DIMM", 4, "F", 8, "N/A", 16,
+    lowest_nrh=_nrh(12_500, 11_700, 12_500, 11_700, 10_200, 6_200, 0),
+    pacram=_pacram(
+        (11_700, 15_000, 8.4 * S), (11_700, 15_000, 8.4 * S),
+        (10_900, 15_000, 7.9 * S), (9_400, 10_000, 4.5 * S),
+        (6_200, 1, 300 * US), None,
+    ),
+))
+_add(ModuleSpec(
+    "S1", "K4A4G085WF-BCTD", "U-DIMM", 4, "F", 8, "N/A", 16,
+    lowest_nrh=_nrh(14_100, 14_100, 12_900, 10_900, 9_800, 7_000, 0),
+    pacram=_pacram(
+        (14_100, 15_000, 10.1 * S), (13_300, 15_000, 9.6 * S),
+        (12_100, 15_000, 8.7 * S), (9_800, 15_000, 7.0 * S),
+        (5_100, 2, 487 * US), None,
+    ),
+))
+_add(ModuleSpec(
+    "S2", "K4A4G085WE-BCPB", "SO-DIMM", 4, "E", 8, "1708", 8,
+    lowest_nrh=_nrh(25_800, 26_200, 25_000, 24_200, 22_700, 19_900, 5_100),
+    pacram=_pacram(
+        (23_800, 15_000, 17.2 * S), (23_400, 15_000, 16.9 * S),
+        (22_300, 15_000, 16.0 * S), (20_700, 15_000, 14.9 * S),
+        (19_900, 1, 955 * US), (5_100, 1, 244 * US),
+    ),
+))
+_add(ModuleSpec(
+    "S3", "K4A4G085WE-BCPB", "SO-DIMM", 4, "E", 8, "1708", 8,
+    lowest_nrh=_nrh(21_900, 21_900, 21_900, 20_300, 19_500, 17_600, 0),
+    pacram=_pacram(
+        (19_900, 15_000, 14.3 * S), (19_500, 15_000, 14.1 * S),
+        (18_800, 15_000, 13.5 * S), (17_200, 15_000, 12.4 * S),
+        (17_600, 1, 844 * US), None,
+    ),
+))
+_add(ModuleSpec(
+    "S4", "K4A4G085WE-BCPB", "SO-DIMM", 4, "E", 8, "1708", 8,
+    lowest_nrh=_nrh(25_000, 25_000, 25_000, 24_600, 21_500, 0, 0),
+    pacram=_pacram(
+        (20_300, 15_000, 14.6 * S), (20_300, 15_000, 14.6 * S),
+        (19_100, 15_000, 13.8 * S), (18_000, 15_000, 12.9 * S),
+        None, None,
+    ),
+))
+_add(ModuleSpec(
+    "S5", "Unknown", "SO-DIMM", 4, "C", 16, "N/A", 4,
+    lowest_nrh=_nrh(11_300, 10_200, 10_500, 10_200, 9_800, 9_000, 0),
+    pacram=_pacram(
+        (12_100, 15_000, 8.7 * S), (12_100, 15_000, 8.7 * S),
+        (11_700, 15_000, 8.4 * S), (9_400, 15_000, 6.8 * S),
+        (5_100, 2, 487 * US), None,
+    ),
+))
+_add(ModuleSpec(
+    "S6", "K4A8G085WD-BCTD", "U-DIMM", 8, "D", 8, "2110", 8,
+    lowest_nrh=_nrh(7_800, 7_000, 7_000, 7_000, 6_200, 3_900, 0),
+    pacram=_pacram(
+        (7_000, 15_000, 5.1 * S), (7_000, 15_000, 5.1 * S),
+        (6_200, 15_000, 4.5 * S), (3_900, 2_000, 374 * MS),
+        (3_900, 1, 187 * US), None,
+    ),
+))
+_add(ModuleSpec(
+    "S7", "K4A8G085WD-BCTD", "U-DIMM", 8, "D", 8, "2110", 8,
+    lowest_nrh=_nrh(7_800, 7_800, 7_000, 6_200, 5_500, 3_900, 0),
+    pacram=_pacram(
+        (7_800, 15_000, 5.6 * S), (7_000, 15_000, 5.1 * S),
+        (5_500, 15_000, 3.9 * S), (5_500, 1, 262 * US),
+        (3_900, 1, 187 * US), None,
+    ),
+))
+_add(ModuleSpec(
+    "S8", "K4A8G085WD-BCTD", "U-DIMM", 8, "D", 8, "2110", 8,
+    lowest_nrh=_nrh(7_800, 6_600, 7_800, 6_200, 5_100, 3_900, 0),
+    pacram=_pacram(
+        (7_800, 15_000, 5.6 * S), (7_800, 15_000, 5.6 * S),
+        (5_900, 15_000, 4.2 * S), (3_900, 15_000, 2.8 * S),
+        (3_900, 1, 187 * US), None,
+    ),
+))
+_add(ModuleSpec(
+    "S9", "K4A8G085WD-BCTD", "U-DIMM", 8, "D", 8, "2110", 8,
+    lowest_nrh=_nrh(7_800, 7_800, 7_800, 6_600, 6_200, 3_900, 0),
+    pacram=_pacram(
+        (8_600, 15_000, 6.2 * S), (8_600, 15_000, 6.2 * S),
+        (6_600, 15_000, 4.8 * S), (4_700, 15_000, 3.4 * S),
+        (3_100, 2, 300 * US), None,
+    ),
+))
+_add(ModuleSpec(
+    "S10", "K4A8G085WC-BCRC", "R-DIMM", 8, "C", 8, "1809", 16,
+    lowest_nrh=_nrh(14_100, 14_100, 14_100, 13_300, 12_500, 10_200, 0),
+    pacram=_pacram(
+        (13_300, 15_000, 9.6 * S), (12_500, 15_000, 9.0 * S),
+        (12_500, 15_000, 9.0 * S), (10_200, 15_000, 7.3 * S),
+        (10_200, 1, 489 * US), None,
+    ),
+))
+_add(ModuleSpec(
+    "S11", "K4A8G085WB-BCTD", "R-DIMM", 8, "B", 8, "2053", 8,
+    lowest_nrh=_nrh(28_100, 28_900, 28_100, 26_600, 27_300, 0, 0),
+    pacram=_pacram(
+        (26_600, 15_000, 19.1 * S), (26_600, 15_000, 19.1 * S),
+        (25_800, 15_000, 18.6 * S), (25_000, 15_000, 18.0 * S),
+        None, None,
+    ),
+))
+_add(ModuleSpec(
+    "S12", "K4AAG085WA-BCWE", "U-DIMM", 8, "A", 8, "2212", 8,
+    lowest_nrh=_nrh(9_000, 8_200, 7_800, 9_000, 7_000, 0, 0),
+    pacram=_pacram(
+        (8_600, 15_000, 6.2 * S), (9_000, 15_000, 6.5 * S),
+        (7_800, 15_000, 5.6 * S), (6_200, 15_000, 4.5 * S),
+        None, None,
+    ),
+))
+_add(ModuleSpec(
+    "S13", "Unknown", "U-DIMM", 16, "B", 8, "2315", 8,
+    lowest_nrh=_nrh(7_000, 7_800, 7_000, 6_600, 7_000, 5_900, 0),
+    pacram=_pacram(
+        (7_400, 15_000, 5.3 * S), (7_000, 15_000, 5.1 * S),
+        (6_600, 15_000, 4.8 * S), (6_200, 15_000, 4.5 * S),
+        (3_900, 5, 937 * US), None,
+    ),
+))
+
+
+def module_spec(module_id: str) -> ModuleSpec:
+    """Look up one tested module by id (e.g. ``"H5"``, ``"M2"``, ``"S6"``)."""
+    try:
+        return _CATALOG[module_id.upper()]
+    except KeyError:
+        raise UnknownModuleError(
+            f"unknown module id {module_id!r}; known: {sorted(_CATALOG)}") from None
+
+
+def all_module_ids() -> tuple[str, ...]:
+    """All 30 tested module ids, in catalog order."""
+    return tuple(_CATALOG)
+
+
+def all_module_specs() -> tuple[ModuleSpec, ...]:
+    """All 30 tested module specs, in catalog order."""
+    return tuple(_CATALOG.values())
+
+
+def modules_by_manufacturer(manufacturer: Manufacturer | str) -> tuple[ModuleSpec, ...]:
+    """All modules from one manufacturer."""
+    if isinstance(manufacturer, str):
+        manufacturer = Manufacturer(manufacturer.upper())
+    return tuple(s for s in _CATALOG.values() if s.manufacturer is manufacturer)
+
+
+def total_chip_count(specs: Iterable[ModuleSpec] | None = None) -> int:
+    """Total number of chips across the given specs (the paper tests 388)."""
+    pool = all_module_specs() if specs is None else tuple(specs)
+    return sum(s.num_chips for s in pool)
+
+
+#: Representative modules used for PaCRAM-H / PaCRAM-M / PaCRAM-S (§9.1).
+PACRAM_REFERENCE_MODULES: dict[Manufacturer, str] = {
+    Manufacturer.H: "H5",
+    Manufacturer.M: "M2",
+    Manufacturer.S: "S6",
+}

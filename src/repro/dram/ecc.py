@@ -1,0 +1,150 @@
+"""SEC-DED ECC substrate (Hamming(72, 64)) and its interaction with PaCRAM.
+
+§10 notes that PaCRAM "can be combined with error correction mechanisms" to
+absorb dynamic variability.  This module provides the substrate for that
+study: a bit-exact Hamming(72, 64) single-error-correct / double-error-
+detect code — the rank-level ECC used in servers — plus a word-level model
+of how per-row bitflip counts translate into corrected, detected, and
+silent errors.
+
+The characterization methodology itself runs with ECC *disabled* (§4.1:
+tested modules have neither rank-level nor on-die ECC), so this substrate
+is used only by the ECC-interaction analyses and tests.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+DATA_BITS = 64
+PARITY_BITS = 8  # 7 Hamming bits + 1 overall parity (SEC-DED)
+CODEWORD_BITS = DATA_BITS + PARITY_BITS
+
+#: Positions 1..72 (1-indexed); powers of two hold parity bits.
+_PARITY_POSITIONS = tuple(1 << i for i in range(7))  # 1,2,4,...,64
+_DATA_POSITIONS = tuple(p for p in range(1, CODEWORD_BITS)
+                        if p not in _PARITY_POSITIONS)
+
+
+def encode(data: int) -> int:
+    """Encode a 64-bit word into a 72-bit SEC-DED codeword."""
+    if not 0 <= data < (1 << DATA_BITS):
+        raise ConfigError("data word must fit in 64 bits")
+    codeword = 0
+    for index, position in enumerate(_DATA_POSITIONS):
+        if (data >> index) & 1:
+            codeword |= 1 << (position - 1)
+    for parity_position in _PARITY_POSITIONS:
+        parity = 0
+        for position in range(1, CODEWORD_BITS):
+            if position & parity_position and (codeword >> (position - 1)) & 1:
+                parity ^= 1
+        if parity:
+            codeword |= 1 << (parity_position - 1)
+    # Overall parity bit (position 72) makes the whole codeword even.
+    overall = bin(codeword).count("1") & 1
+    if overall:
+        codeword |= 1 << (CODEWORD_BITS - 1)
+    return codeword
+
+
+@dataclass(frozen=True)
+class DecodeResult:
+    """Outcome of decoding one codeword."""
+
+    data: int
+    corrected: bool  #: a single-bit error was corrected
+    detected_uncorrectable: bool  #: a double-bit error was detected
+
+    @property
+    def clean(self) -> bool:
+        return not self.corrected and not self.detected_uncorrectable
+
+
+def decode(codeword: int) -> DecodeResult:
+    """Decode a 72-bit codeword, correcting one flipped bit if present."""
+    if not 0 <= codeword < (1 << CODEWORD_BITS):
+        raise ConfigError("codeword must fit in 72 bits")
+    syndrome = 0
+    for parity_position in _PARITY_POSITIONS:
+        parity = 0
+        for position in range(1, CODEWORD_BITS):
+            if position & parity_position and (codeword >> (position - 1)) & 1:
+                parity ^= 1
+        if parity:
+            syndrome |= parity_position
+    overall = bin(codeword).count("1") & 1
+    corrected = False
+    detected = False
+    if syndrome and overall:
+        # Single-bit error at `syndrome`: correct it.
+        codeword ^= 1 << (syndrome - 1)
+        corrected = True
+    elif syndrome and not overall:
+        detected = True  # double-bit error: uncorrectable
+    elif not syndrome and overall:
+        # The overall parity bit itself flipped: correct it.
+        codeword ^= 1 << (CODEWORD_BITS - 1)
+        corrected = True
+    data = 0
+    for index, position in enumerate(_DATA_POSITIONS):
+        if (codeword >> (position - 1)) & 1:
+            data |= 1 << index
+    return DecodeResult(data=data, corrected=corrected,
+                        detected_uncorrectable=detected)
+
+
+# ---------------------------------------------------------------------------
+# Row-level model: how raw bitflips translate through ECC
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class EccOutcome:
+    """Expected ECC outcome for one row read."""
+
+    corrected_words: float
+    uncorrectable_words: float
+
+    @property
+    def survives(self) -> bool:
+        """Whether the row reads back correctly (no uncorrectable words)."""
+        return self.uncorrectable_words < 0.5
+
+
+def row_outcome(bitflips: int, row_bits: int = 65_536) -> EccOutcome:
+    """Expected per-row ECC outcome given ``bitflips`` random raw errors.
+
+    Errors are assumed uniformly spread over the row's 64-bit words (the
+    worst case for RowHammer is clustering, but retention failures — the
+    errors PaCRAM's guardbands interact with — are spatially random).
+    """
+    if bitflips < 0:
+        raise ConfigError("bitflip count must be non-negative")
+    words = row_bits // DATA_BITS
+    if bitflips == 0:
+        return EccOutcome(0.0, 0.0)
+    # Poisson approximation of flips per word.
+    rate = bitflips / words
+    p0 = math.exp(-rate)
+    p1 = rate * p0
+    p_multi = 1.0 - p0 - p1
+    return EccOutcome(corrected_words=words * p1,
+                      uncorrectable_words=words * p_multi)
+
+
+def effective_failure_probability(raw_fail_fraction: float,
+                                  flips_when_failing: int = 1,
+                                  row_bits: int = 65_536) -> float:
+    """Fraction of rows that still fail *after* SEC-DED correction.
+
+    With the typical one-to-a-few weak cells per failing row, SEC-DED
+    absorbs nearly all retention failures — the §10 argument for pairing
+    PaCRAM with ECC to cover aging and variability.
+    """
+    if not 0.0 <= raw_fail_fraction <= 1.0:
+        raise ConfigError("failure fraction must be in [0, 1]")
+    outcome = row_outcome(flips_when_failing, row_bits)
+    survive = 1.0 if outcome.survives else 0.0
+    return raw_fail_fraction * (1.0 - survive)

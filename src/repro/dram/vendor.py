@@ -1,0 +1,129 @@
+"""Manufacturer-level behavior profiles.
+
+The paper tests chips from three major manufacturers, anonymized as Mfr. H
+(SK Hynix), Mfr. M (Micron), and Mfr. S (Samsung).  Their chips react very
+differently to reduced charge-restoration latency:
+
+* **Mfr. H** — large ``tRAS`` guardband; ``N_RH`` unaffected down to
+  ``0.36 tRAS`` (64 % reduction), retention failures appear at ``0.18 tRAS``.
+  The only vendor whose chips exhibit Half-Double bitflips.
+* **Mfr. M** — very large guardband; essentially flat down to ``0.18 tRAS``
+  (82 % reduction), no retention failures in the tested range.
+* **Mfr. S** — small guardband; ``N_RH`` degrades below ``0.64 tRAS``
+  (36 % reduction), repeated partial restorations degrade further, and
+  retention failures appear at ``0.27–0.18 tRAS``.
+
+These numbers come straight from the paper's §5 takeaways; the per-module
+curves live in :mod:`repro.dram.catalog`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+
+
+class Manufacturer(enum.Enum):
+    """The three anonymized DRAM manufacturers in the study."""
+
+    H = "H"  # SK Hynix
+    M = "M"  # Micron
+    S = "S"  # Samsung
+
+    @classmethod
+    def from_module_id(cls, module_id: str) -> "Manufacturer":
+        """Infer the manufacturer from a module id like ``"H5"`` or ``"S13"``."""
+        if not module_id:
+            raise ConfigError("empty module id")
+        letter = module_id[0].upper()
+        try:
+            return cls(letter)
+        except ValueError:
+            raise ConfigError(f"module id {module_id!r} does not start with H/M/S") from None
+
+
+@dataclass(frozen=True)
+class VendorProfile:
+    """Manufacturer-wide calibration constants for the device model.
+
+    Per-module ``N_RH`` ratio curves come from the catalog; this profile holds
+    the behaviors the paper reports at vendor granularity.
+    """
+
+    manufacturer: Manufacturer
+    #: Largest safe tRAS reduction with < 3 % N_RH impact (§5.1 red lines).
+    safe_tras_factor_nrh: float
+    #: Largest safe tRAS reduction with < 3 % BER impact (§5.2 red lines).
+    safe_tras_factor_ber: float
+    #: e-folding count of the repeated-partial-restoration decay of the
+    #: restored charge level (Fig. 12).  ``None`` means no decay (flat).
+    pcr_decay_restorations: float | None
+    #: Relative N_RH change when temperature goes 50 -> 80 C (Takeaway 4).
+    temperature_nrh_sensitivity: float
+    #: Relative BER change when temperature goes 50 -> 80 C.
+    temperature_ber_sensitivity: float
+    #: Fraction of rows exhibiting Half-Double bitflips at nominal tRAS
+    #: (Fig. 13); zero for vendors without Half-Double bitflips.
+    halfdouble_row_fraction: float
+    #: Multiplicative Half-Double prevalence vs tRAS factor, anchored at the
+    #: tested latencies (Fig. 13 shape: dips at 0.36, spikes at 0.18).
+    halfdouble_shape: dict[float, float] = field(default_factory=dict)
+    #: Superlinearity exponent of BER growth as restoration weakens (§5.2).
+    ber_growth_exponent: float = 2.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.safe_tras_factor_nrh <= 1.0:
+            raise ConfigError("safe_tras_factor_nrh out of range")
+        if not 0.0 < self.safe_tras_factor_ber <= 1.0:
+            raise ConfigError("safe_tras_factor_ber out of range")
+        if not 0.0 <= self.halfdouble_row_fraction <= 1.0:
+            raise ConfigError("halfdouble_row_fraction out of range")
+
+
+_PROFILES: dict[Manufacturer, VendorProfile] = {
+    Manufacturer.H: VendorProfile(
+        manufacturer=Manufacturer.H,
+        safe_tras_factor_nrh=0.36,  # 64 % reduction (§5.1)
+        safe_tras_factor_ber=0.64,  # 36 % reduction (§5.2)
+        pcr_decay_restorations=None,  # flat up to 15K restorations (Fig. 12)
+        temperature_nrh_sensitivity=0.0031,
+        temperature_ber_sensitivity=0.01,
+        halfdouble_row_fraction=0.12,
+        halfdouble_shape={
+            1.00: 1.00, 0.81: 0.92, 0.64: 0.80, 0.45: 0.70,
+            0.36: 0.607, 0.27: 0.85, 0.18: 2.30,
+        },
+        ber_growth_exponent=2.2,
+    ),
+    Manufacturer.M: VendorProfile(
+        manufacturer=Manufacturer.M,
+        safe_tras_factor_nrh=0.18,  # 82 % reduction
+        safe_tras_factor_ber=0.18,  # 82 % reduction
+        pcr_decay_restorations=None,
+        temperature_nrh_sensitivity=0.0020,
+        temperature_ber_sensitivity=0.0002,
+        halfdouble_row_fraction=0.0,
+        halfdouble_shape={},
+        ber_growth_exponent=1.2,
+    ),
+    Manufacturer.S: VendorProfile(
+        manufacturer=Manufacturer.S,
+        safe_tras_factor_nrh=0.64,  # 36 % reduction
+        safe_tras_factor_ber=0.81,  # 19 % reduction
+        pcr_decay_restorations=900.0,  # N_RH decays with repeated PCR (Fig. 12)
+        temperature_nrh_sensitivity=0.0008,
+        temperature_ber_sensitivity=0.09,
+        halfdouble_row_fraction=0.0,  # no Half-Double bitflips observed (§6)
+        halfdouble_shape={},
+        ber_growth_exponent=2.6,
+    ),
+}
+
+
+def vendor_profile(manufacturer: Manufacturer | str) -> VendorProfile:
+    """Look up the calibration profile for a manufacturer."""
+    if isinstance(manufacturer, str):
+        manufacturer = Manufacturer(manufacturer.upper())
+    return _PROFILES[manufacturer]

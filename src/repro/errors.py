@@ -1,0 +1,40 @@
+"""Exception hierarchy for the repro library.
+
+Every error raised intentionally by this library derives from
+:class:`ReproError`, so callers can catch library failures without also
+swallowing programming errors like :class:`TypeError`.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigError(ReproError):
+    """An invalid or inconsistent configuration was supplied."""
+
+
+class TimingViolation(ReproError):
+    """A DRAM command was issued before its governing timing expired."""
+
+
+class DeviceError(ReproError):
+    """An operation was attempted on a DRAM device in an invalid state."""
+
+
+class ProgramError(ReproError):
+    """A DRAM-Bender test program is malformed or used incorrectly."""
+
+
+class CharacterizationError(ReproError):
+    """A characterization routine was invoked with invalid parameters."""
+
+
+class SimulationError(ReproError):
+    """The memory-system simulator reached an inconsistent state."""
+
+
+class UnknownModuleError(ReproError):
+    """A module id was requested that is not in the tested-module catalog."""

@@ -1,0 +1,112 @@
+"""Plugin interface between the memory controller and RowHammer mitigations.
+
+The controller calls :meth:`MitigationMechanism.on_activation` for every row
+activation it performs; the mechanism returns a (possibly empty) list of
+actions — preventive refreshes, RFM commands, or metadata traffic — which
+the controller executes, asking the refresh-latency policy (PaCRAM or the
+nominal default) for the charge-restoration latency of every preventive
+refresh it schedules.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+#: Blast radius of 2: a preventive refresh covers the four rows within
+#: +/- 2 rows of the aggressor (§9.1, accounting for Half-Double).
+BLAST_RADIUS = 2
+BLAST_ROWS = 2 * BLAST_RADIUS
+
+
+@dataclass(frozen=True)
+class PreventiveRefresh:
+    """Refresh victims of ``aggressor_row`` at the given physical offsets.
+
+    The default offsets cover the full +/- 2 blast radius; probabilistic
+    mechanisms may refresh a subset per trigger (e.g. one side at a time).
+    """
+
+    flat_bank: int
+    aggressor_row: int
+    victim_offsets: tuple[int, ...] = (-2, -1, 1, 2)
+
+    @property
+    def victim_count(self) -> int:
+        return len(self.victim_offsets)
+
+
+@dataclass(frozen=True)
+class RfmCommand:
+    """A refresh-management command: the DRAM refreshes victims internally,
+    blocking the bank while it does so."""
+
+    flat_bank: int
+    victim_rows: int = BLAST_ROWS
+    is_backoff: bool = False  #: True when DRAM-initiated (PRAC back-off)
+
+
+@dataclass(frozen=True)
+class MetadataAccess:
+    """Extra DRAM traffic for mitigation metadata (Hydra's RCT in DRAM)."""
+
+    flat_bank: int
+    reads: int = 0
+    writes: int = 0
+
+
+Action = PreventiveRefresh | RfmCommand | MetadataAccess
+
+
+@dataclass
+class MitigationCounters:
+    """Bookkeeping every mechanism shares (exposed for tests/analysis)."""
+
+    activations_observed: int = 0
+    triggers: int = 0
+
+
+class MitigationMechanism(abc.ABC):
+    """Base class for preventive-refresh RowHammer mitigations."""
+
+    name: str = "abstract"
+    #: Extra per-activation bank-time cost (PRAC's extended row cycle for
+    #: in-DRAM counter updates); zero for controller-side mechanisms.
+    act_penalty_ns: float = 0.0
+
+    def __init__(self, nrh: int) -> None:
+        if nrh <= 0:
+            raise ConfigError(f"N_RH must be positive, got {nrh}")
+        self.nrh = nrh
+        self.counters = MitigationCounters()
+
+    @abc.abstractmethod
+    def on_activation(self, flat_bank: int, row: int,
+                      now_ns: float) -> list[Action]:
+        """Observe one row activation; return preventive actions to execute."""
+
+    def on_refresh_window(self, now_ns: float) -> None:
+        """Called once per refresh window (tREFW): reset windowed state."""
+
+    def area_mm2(self, banks: int) -> float:
+        """Mechanism SRAM/CAM area for a system with ``banks`` DRAM banks."""
+        return 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(nrh={self.nrh})"
+
+
+class NoMitigation(MitigationMechanism):
+    """The paper's 'No mitigation' baseline configuration."""
+
+    name = "None"
+
+    def __init__(self, nrh: int = 1) -> None:
+        super().__init__(nrh=max(nrh, 1))
+
+    def on_activation(self, flat_bank: int, row: int,
+                      now_ns: float) -> list[Action]:
+        self.counters.activations_observed += 1
+        return []

@@ -1,0 +1,57 @@
+"""PRAC: Per-Row Activation Counting (JESD79-5C, 2024).
+
+The DRAM chip keeps an activation counter inside every row and updates it
+during precharge, which lengthens the row cycle (modeled as a constant
+per-activation bank-time penalty).  When a row's counter crosses the
+back-off threshold, the chip asserts the back-off signal; the controller
+responds with an RFM, letting the chip refresh that row's victims.  PRAC's
+fine-grained tracking triggers far fewer preventive refreshes than RFM, at
+the cost of in-DRAM counter storage and the extended timing.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.errors import ConfigError
+from repro.mitigations.base import Action, MitigationMechanism, RfmCommand
+
+#: Back-off threshold as a fraction of N_RH (guard band for the blast
+#: radius and for activations in flight while the back-off is serviced).
+BACKOFF_FRACTION = 0.4
+#: Extra bank-busy time per activation for the in-precharge counter update.
+ACT_PENALTY_NS = 6.0
+
+
+class PRAC(MitigationMechanism):
+    """Per-row activation counters in DRAM with back-off RFMs."""
+
+    name = "PRAC"
+    act_penalty_ns = ACT_PENALTY_NS
+
+    def __init__(self, nrh: int, *,
+                 backoff_fraction: float = BACKOFF_FRACTION) -> None:
+        super().__init__(nrh)
+        if not 0.0 < backoff_fraction <= 1.0:
+            raise ConfigError("backoff fraction must be in (0, 1]")
+        self.threshold = max(1, int(nrh * backoff_fraction))
+        self._counts: dict[tuple[int, int], int] = defaultdict(int)
+
+    def on_activation(self, flat_bank: int, row: int,
+                      now_ns: float) -> list[Action]:
+        self.counters.activations_observed += 1
+        key = (flat_bank, row)
+        self._counts[key] += 1
+        if self._counts[key] < self.threshold:
+            return []
+        self._counts[key] = 0
+        self.counters.triggers += 1
+        return [RfmCommand(flat_bank, is_backoff=True)]
+
+    def on_refresh_window(self, now_ns: float) -> None:
+        """Counters of refreshed rows reset over the refresh window."""
+        self._counts.clear()
+
+    def area_mm2(self, banks: int) -> float:
+        """Counters live in DRAM mats; controller-side cost is negligible."""
+        return 5e-4

@@ -1,0 +1,54 @@
+"""RFM: DDR5 Refresh Management (JESD79-5).
+
+The memory controller counts activations per bank (the Rolling Accumulated
+ACT counter, RAA); when the count reaches the RAA Initial Management
+Threshold (RAAIMT) it issues an RFM command, during which the DRAM chip
+internally refreshes victim rows.  Because the counter is bank-granular —
+thousands of rows share it, with no notion of row-level locality — RFM
+triggers on aggregate traffic and issues many RFM commands under benign
+workloads (§2.2), making it the second canonical high-performance-overhead
+mitigation.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.errors import ConfigError
+from repro.mitigations.base import Action, MitigationMechanism, RfmCommand
+
+#: RAAIMT as a fraction of N_RH.  With a blast radius of 2 and bank-granular
+#: counting, the threshold must stay well below N_RH so that no single row
+#: can accumulate N_RH activations between managed refreshes.
+RAAIMT_DIVISOR = 8
+
+
+class RFM(MitigationMechanism):
+    """Per-bank rolling activation counting with refresh-management commands."""
+
+    name = "RFM"
+
+    def __init__(self, nrh: int, *, raaimt: int | None = None) -> None:
+        super().__init__(nrh)
+        self.raaimt = raaimt if raaimt is not None else max(1, nrh // RAAIMT_DIVISOR)
+        if self.raaimt <= 0:
+            raise ConfigError("RAAIMT must be positive")
+        self._raa: dict[int, int] = defaultdict(int)
+
+    def on_activation(self, flat_bank: int, row: int,
+                      now_ns: float) -> list[Action]:
+        self.counters.activations_observed += 1
+        self._raa[flat_bank] += 1
+        if self._raa[flat_bank] < self.raaimt:
+            return []
+        self._raa[flat_bank] = 0
+        self.counters.triggers += 1
+        return [RfmCommand(flat_bank)]
+
+    def on_refresh_window(self, now_ns: float) -> None:
+        """Periodic refresh resets the rolling accumulated counts."""
+        self._raa.clear()
+
+    def area_mm2(self, banks: int) -> float:
+        """One RAA counter per bank: negligible (§3's 'almost zero')."""
+        return 2e-4 * banks / 32

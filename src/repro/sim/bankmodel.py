@@ -1,0 +1,95 @@
+"""Per-bank and per-rank timing state for the event-driven controller."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SimulationError
+
+
+@dataclass
+class BankTimeline:
+    """Timing state of one DRAM bank.
+
+    ``ready_ns`` is the earliest time the next command may start on this
+    bank; ``open_row`` tracks the row buffer; ``act_ns`` is the time of the
+    last activation (for the tRAS ready-to-precharge constraint).
+    """
+
+    open_row: int | None = None
+    ready_ns: float = 0.0
+    act_ns: float = float("-inf")
+    #: Busy time attributable to preventive refreshes (Fig. 3 metric).
+    preventive_busy_ns: float = 0.0
+    #: Busy time attributable to periodic refreshes.
+    refresh_busy_ns: float = 0.0
+    activations: int = 0
+
+    def block_until(self, time_ns: float) -> None:
+        """Push the bank's earliest-next-command time forward."""
+        if time_ns > self.ready_ns:
+            self.ready_ns = time_ns
+
+    def occupy(self, start_ns: float, duration_ns: float, *,
+               preventive: bool = False, refresh: bool = False) -> float:
+        """Reserve the bank for an operation; returns the end time."""
+        if duration_ns < 0:
+            raise SimulationError("negative occupancy")
+        if start_ns < self.ready_ns:
+            raise SimulationError(
+                f"bank occupied at {start_ns} while busy until {self.ready_ns}")
+        end = start_ns + duration_ns
+        self.ready_ns = end
+        if preventive:
+            self.preventive_busy_ns += duration_ns
+        if refresh:
+            self.refresh_busy_ns += duration_ns
+        return end
+
+
+@dataclass
+class RankTimeline:
+    """Rank-level shared state: periodic refresh schedule and ACT window."""
+
+    next_refresh_ns: float = 0.0
+    #: Times of recent activations (for the four-activate window, tFAW).
+    recent_acts: list[float] = field(default_factory=list)
+
+    def faw_constraint(self, now_ns: float, tfaw_ns: float) -> float:
+        """Earliest time a new ACT may issue under the tFAW constraint."""
+        recent = [t for t in self.recent_acts if t > now_ns - tfaw_ns]
+        self.recent_acts = recent[-8:]
+        if len(recent) < 4:
+            return now_ns
+        return recent[-4] + tfaw_ns
+
+    def record_act(self, time_ns: float) -> None:
+        self.recent_acts.append(time_ns)
+        if len(self.recent_acts) > 8:
+            del self.recent_acts[0]
+
+
+@dataclass
+class ChannelTimeline:
+    """Channel-level shared state: the data bus serializes transfers, and
+    back-to-back CAS commands to the *same* bank group need the long
+    column-to-column spacing (tCCD_L vs tCCD_S)."""
+
+    bus_free_ns: float = 0.0
+    last_cas_ns: float = float("-inf")
+    last_cas_group: int = -1
+
+    def reserve_bus(self, earliest_ns: float, burst_ns: float) -> float:
+        """Reserve a data burst; returns when the data transfer completes."""
+        start = max(earliest_ns, self.bus_free_ns)
+        self.bus_free_ns = start + burst_ns
+        return start + burst_ns
+
+    def cas_constraint(self, earliest_ns: float, bank_group: int,
+                       tccd_s_ns: float, tccd_l_ns: float) -> float:
+        """Earliest CAS issue time honoring tCCD_S/tCCD_L, recording it."""
+        spacing = tccd_l_ns if bank_group == self.last_cas_group else tccd_s_ns
+        start = max(earliest_ns, self.last_cas_ns + spacing)
+        self.last_cas_ns = start
+        self.last_cas_group = bank_group
+        return start

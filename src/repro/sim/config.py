@@ -1,0 +1,67 @@
+"""Simulated system configuration (the paper's Table 2)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.dram.timing import TimingParams, ddr5_timing
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """Table 2: processor, DRAM organization, and memory-controller knobs."""
+
+    # Processor.
+    num_cores: int = 4
+    core_clock_ghz: float = 3.2
+    issue_width: int = 4
+    instruction_window: int = 128
+
+    # DRAM organization (DDR5, 1 channel, 2 ranks, 8 BG x 2 banks, 64K rows).
+    channels: int = 1
+    ranks: int = 2
+    bank_groups: int = 8
+    banks_per_group: int = 2
+    rows_per_bank: int = 65_536
+    columns_per_row: int = 128  #: cache lines per row (8 KB row / 64 B line)
+    cache_line_bytes: int = 64
+
+    # Memory controller.
+    read_queue_depth: int = 64
+    write_queue_depth: int = 64
+    #: Write-drain watermarks (fractions of the write-queue depth).
+    write_high_watermark: float = 0.75
+    write_low_watermark: float = 0.25
+
+    timing: TimingParams = field(default_factory=ddr5_timing)
+
+    def __post_init__(self) -> None:
+        for name in ("num_cores", "channels", "ranks", "bank_groups",
+                     "banks_per_group", "rows_per_bank", "columns_per_row",
+                     "read_queue_depth", "write_queue_depth",
+                     "issue_width", "instruction_window"):
+            if getattr(self, name) <= 0:
+                raise ConfigError(f"{name} must be positive")
+        if not 0.0 < self.write_low_watermark < self.write_high_watermark <= 1.0:
+            raise ConfigError("write watermarks must satisfy 0 < low < high <= 1")
+
+    @property
+    def banks_per_rank(self) -> int:
+        return self.bank_groups * self.banks_per_group
+
+    @property
+    def total_banks(self) -> int:
+        return self.channels * self.ranks * self.banks_per_rank
+
+    @property
+    def core_cycle_ns(self) -> float:
+        return 1.0 / self.core_clock_ghz
+
+    @property
+    def row_bytes(self) -> int:
+        return self.columns_per_row * self.cache_line_bytes
+
+    @property
+    def capacity_bytes(self) -> int:
+        return self.total_banks * self.rows_per_bank * self.row_bytes

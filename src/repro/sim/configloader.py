@@ -1,0 +1,128 @@
+"""Configuration files for simulations (the artifact's A.6 interface).
+
+The paper's artifact exposes its customization knobs through configuration
+files and ``Ram_scripts/utils_runs.py`` (MITIGATION_LIST, NRH_VALUES,
+``latency_factor_vrr``, ``latency_factor_rfc``, workload mixes).  This
+module provides the equivalent: a JSON configuration schema that fully
+describes one evaluation — system, mitigations, thresholds, PaCRAM latency
+factors, and workloads — plus a loader that materializes the objects.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.errors import ConfigError
+from repro.mitigations import MITIGATION_CLASSES
+from repro.sim.config import SystemConfig
+from repro.workloads.suites import single_core_suite
+
+#: Keys accepted at the top level of an evaluation config file.
+_KNOWN_KEYS = {
+    "mitigations", "nrh_values", "pacram_vendors", "workloads",
+    "requests", "num_cores", "latency_factor_vrr", "latency_factor_rfc",
+}
+
+
+@dataclass(frozen=True)
+class EvaluationConfig:
+    """A fully-described evaluation, loadable from JSON."""
+
+    mitigations: tuple[str, ...] = ("PARA", "RFM", "PRAC", "Hydra", "Graphene")
+    nrh_values: tuple[int, ...] = (1024, 512, 256, 128, 64, 32)
+    pacram_vendors: tuple[str | None, ...] = (None, "H", "M", "S")
+    workloads: tuple[str, ...] = field(
+        default_factory=lambda: single_core_suite()[:4])
+    requests: int = 2_000
+    num_cores: int = 1
+    #: Preventive-refresh latency factor (the artifact's latency_factor_vrr);
+    #: None means "use each vendor's best-observed factor".
+    latency_factor_vrr: float | None = None
+    #: Periodic-refresh latency factor (latency_factor_rfc, Appendix B).
+    latency_factor_rfc: float = 1.0
+
+    def __post_init__(self) -> None:
+        unknown = [m for m in self.mitigations if m not in MITIGATION_CLASSES]
+        if unknown:
+            raise ConfigError(f"unknown mitigations: {unknown}")
+        if any(nrh <= 0 for nrh in self.nrh_values):
+            raise ConfigError("N_RH values must be positive")
+        for vendor in self.pacram_vendors:
+            if vendor is not None and vendor not in ("H", "M", "S"):
+                raise ConfigError(f"unknown PaCRAM vendor {vendor!r}")
+        if self.requests <= 0 or self.num_cores <= 0:
+            raise ConfigError("requests and num_cores must be positive")
+        if self.latency_factor_vrr is not None and not (
+                0.0 < self.latency_factor_vrr <= 1.0):
+            raise ConfigError("latency_factor_vrr must be in (0, 1]")
+        if not 0.0 < self.latency_factor_rfc <= 1.0:
+            raise ConfigError("latency_factor_rfc must be in (0, 1]")
+
+    # ------------------------------------------------------------------
+    def system_config(self) -> SystemConfig:
+        return SystemConfig(num_cores=self.num_cores)
+
+    def sweep_grid(self):
+        """The equivalent :class:`repro.analysis.sweeprunner.SweepGrid`.
+
+        Imported lazily: the analysis layer builds on the simulator, so a
+        module-level import here would be circular.
+        """
+        from repro.analysis.sweeprunner import SweepGrid
+        return SweepGrid(
+            mitigations=self.mitigations,
+            nrh_values=self.nrh_values,
+            pacram_vendors=self.pacram_vendors,
+            workload_sets=tuple((name,) for name in self.workloads),
+            requests=self.requests,
+        )
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_dict(cls, raw: dict) -> "EvaluationConfig":
+        unknown = set(raw) - _KNOWN_KEYS
+        if unknown:
+            raise ConfigError(f"unknown config keys: {sorted(unknown)}")
+        kwargs: dict = {}
+        for key in ("mitigations", "workloads"):
+            if key in raw:
+                kwargs[key] = tuple(raw[key])
+        if "nrh_values" in raw:
+            kwargs["nrh_values"] = tuple(int(v) for v in raw["nrh_values"])
+        if "pacram_vendors" in raw:
+            kwargs["pacram_vendors"] = tuple(
+                None if v in (None, "none") else str(v)
+                for v in raw["pacram_vendors"])
+        for key in ("requests", "num_cores"):
+            if key in raw:
+                kwargs[key] = int(raw[key])
+        for key in ("latency_factor_vrr", "latency_factor_rfc"):
+            if key in raw and raw[key] is not None:
+                kwargs[key] = float(raw[key])
+        return cls(**kwargs)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "EvaluationConfig":
+        try:
+            raw = json.loads(Path(path).read_text())
+        except json.JSONDecodeError as error:
+            raise ConfigError(f"malformed config file {path}: {error}") from None
+        if not isinstance(raw, dict):
+            raise ConfigError("config file must hold a JSON object")
+        return cls.from_dict(raw)
+
+    def save(self, path: str | Path) -> None:
+        payload = {
+            "mitigations": list(self.mitigations),
+            "nrh_values": list(self.nrh_values),
+            "pacram_vendors": ["none" if v is None else v
+                               for v in self.pacram_vendors],
+            "workloads": list(self.workloads),
+            "requests": self.requests,
+            "num_cores": self.num_cores,
+            "latency_factor_vrr": self.latency_factor_vrr,
+            "latency_factor_rfc": self.latency_factor_rfc,
+        }
+        Path(path).write_text(json.dumps(payload, indent=2) + "\n")

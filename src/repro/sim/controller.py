@@ -1,0 +1,337 @@
+"""FR-FCFS memory controller with mitigation and refresh-latency plugins.
+
+Scheduling follows FR-FCFS: among arrived requests, row-buffer hits win,
+ties broken by age; writes are buffered and drained when the write queue
+crosses its high watermark or no reads are pending.  Every row activation is
+reported to the RowHammer mitigation plugin, whose preventive actions the
+controller executes — asking the :class:`RefreshLatencyPolicy` (PaCRAM, or
+the nominal default) for the charge-restoration latency of each preventive
+refresh.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SimulationError
+from repro.mitigations.base import (
+    MetadataAccess,
+    MitigationMechanism,
+    NoMitigation,
+    PreventiveRefresh,
+    RfmCommand,
+)
+from repro.sim.bankmodel import BankTimeline, ChannelTimeline, RankTimeline
+from repro.sim.config import SystemConfig
+from repro.sim.energy import EnergyModel
+from repro.sim.request import Request
+from repro.sim.stats import ControllerStats
+
+
+class RefreshLatencyPolicy:
+    """Default refresh-latency policy: nominal latency for everything.
+
+    PaCRAM (:class:`repro.core.pacram.PaCRAM`) subclasses this to return
+    reduced latencies and to scale the mitigation's configured ``N_RH``.
+    """
+
+    def __init__(self, config: SystemConfig) -> None:
+        self.config = config
+
+    def preventive_tras_ns(self, flat_bank: int, row: int,
+                           now_ns: float) -> tuple[float, bool]:
+        """(charge-restoration latency, is_full_restoration) for one
+        preventive refresh of ``row``."""
+        return self.config.timing.tRAS, True
+
+    def periodic_refresh_scale(self) -> float:
+        """Scaling of the periodic-refresh latency (Appendix B extension)."""
+        return 1.0
+
+    def nrh_scale(self) -> float:
+        """Factor by which the mitigation's N_RH must be scaled down to stay
+        secure under this policy's reduced latencies (§8.2)."""
+        return 1.0
+
+
+class MemoryController:
+    """One memory controller driving all channels of the system."""
+
+    def __init__(self, config: SystemConfig,
+                 mitigation: MitigationMechanism | None = None,
+                 policy: RefreshLatencyPolicy | None = None) -> None:
+        self.config = config
+        self.timing = config.timing
+        self.mitigation = mitigation or NoMitigation()
+        self.policy = policy or RefreshLatencyPolicy(config)
+        self.stats = ControllerStats()
+        self.energy = EnergyModel(ranks=config.channels * config.ranks)
+        self.banks = [BankTimeline() for _ in range(config.total_banks)]
+        self.ranks = [RankTimeline() for _ in range(config.channels * config.ranks)]
+        self.channels = [ChannelTimeline() for _ in range(config.channels)]
+        self.read_queue: list[Request] = []
+        self.write_queue: list[Request] = []
+        self.now_ns = 0.0
+        self._draining_writes = False
+        self._next_refresh_window_ns = self.timing.tREFW
+        self._rows_per_periodic_refresh = self._rows_per_ref()
+        for rank in self.ranks:
+            rank.next_refresh_ns = self.timing.tREFI
+
+    # ------------------------------------------------------------------
+    # queue management
+    # ------------------------------------------------------------------
+    def enqueue(self, request: Request) -> None:
+        queue = self.read_queue if request.is_read else self.write_queue
+        queue.append(request)
+
+    def pending_requests(self) -> int:
+        return len(self.read_queue) + len(self.write_queue)
+
+    def next_arrival_ns(self) -> float | None:
+        """Earliest arrival among queued requests (None if queues empty)."""
+        times = [r.arrival_ns for r in self.read_queue]
+        times += [r.arrival_ns for r in self.write_queue]
+        return min(times) if times else None
+
+    # ------------------------------------------------------------------
+    # scheduling
+    # ------------------------------------------------------------------
+    #: Latency of forwarding read data out of the write queue (SRAM lookup).
+    FORWARD_LATENCY_NS = 2.0
+
+    def service_one(self) -> Request | None:
+        """Pick and service one request (FR-FCFS); returns it, with its
+        ``completion_ns`` filled in, or None if nothing has arrived yet."""
+        self._apply_periodic_refresh(self.now_ns)
+        self._update_drain_mode()
+        request = self._pick()
+        if request is None:
+            return None
+        if request.is_read and self._forward_from_write_queue(request):
+            return request
+        self._service(request)
+        return request
+
+    def _forward_from_write_queue(self, request: Request) -> bool:
+        """Serve a read from a pending older write to the same line."""
+        for write in self.write_queue:
+            if (write.address == request.address
+                    and write.arrival_ns <= request.arrival_ns):
+                request.completion_ns = (max(self.now_ns, request.arrival_ns)
+                                         + self.FORWARD_LATENCY_NS)
+                self.stats.reads += 1
+                self.stats.forwarded_reads += 1
+                return True
+        return False
+
+    def advance_to(self, time_ns: float) -> None:
+        """Move the controller clock forward (e.g. to the next arrival)."""
+        if time_ns > self.now_ns:
+            self.now_ns = time_ns
+
+    def _update_drain_mode(self) -> None:
+        depth = self.config.write_queue_depth
+        if len(self.write_queue) >= depth * self.config.write_high_watermark:
+            self._draining_writes = True
+        elif len(self.write_queue) <= depth * self.config.write_low_watermark:
+            self._draining_writes = False
+
+    def _arrived(self, queue: list[Request]) -> list[Request]:
+        return [r for r in queue if r.arrival_ns <= self.now_ns]
+
+    def _pick(self) -> Request | None:
+        reads = self._arrived(self.read_queue)
+        writes = self._arrived(self.write_queue)
+        if self._draining_writes and writes:
+            candidates = writes
+        elif reads:
+            candidates = reads
+        elif writes:
+            candidates = writes  # no read is ready: opportunistic drain
+        else:
+            return None
+        hits = [r for r in candidates
+                if self._bank(r).open_row == r.decoded.row]
+        pool = hits or candidates
+        request = min(pool, key=lambda r: r.arrival_ns)
+        queue = self.read_queue if request.is_read else self.write_queue
+        queue.remove(request)
+        return request
+
+    # ------------------------------------------------------------------
+    # command timing
+    # ------------------------------------------------------------------
+    def _bank(self, request: Request) -> BankTimeline:
+        return self.banks[self._flat_bank(request)]
+
+    def _flat_bank(self, request: Request) -> int:
+        d = request.decoded
+        c = self.config
+        return d.bank + c.banks_per_group * (
+            d.bank_group + c.bank_groups * (d.rank + c.ranks * d.channel))
+
+    def _rank_index(self, request: Request) -> int:
+        d = request.decoded
+        return d.rank + self.config.ranks * d.channel
+
+    def _service(self, request: Request) -> None:
+        timing = self.timing
+        bank = self._bank(request)
+        rank = self.ranks[self._rank_index(request)]
+        channel = self.channels[request.decoded.channel]
+        row = request.decoded.row
+        earliest = max(self.now_ns, request.arrival_ns, bank.ready_ns)
+
+        if bank.open_row == row:
+            self.stats.row_hits += 1
+            cas_start = earliest
+        else:
+            self.stats.row_misses += 1
+            act_start = earliest
+            if bank.open_row is not None:
+                # Ready-to-precharge: tRAS after the last ACT, then tRP.
+                pre_start = max(earliest, bank.act_ns + timing.tRAS)
+                act_start = pre_start + timing.tRP
+            act_start = max(act_start, rank.faw_constraint(act_start, timing.tFAW))
+            rank.record_act(act_start)
+            bank.open_row = row
+            bank.act_ns = act_start
+            self.stats.activations += 1
+            self.energy.add_activation(timing.tRAS)
+            cas_start = act_start + timing.tRCD
+            self._run_mitigation(request, row, act_start)
+            # Mitigation actions may have pushed the bank's ready time.
+            cas_start = max(cas_start, bank.ready_ns)
+
+        cas_start = channel.cas_constraint(
+            cas_start, request.decoded.bank_group, timing.tCCD, timing.tCCD_L)
+        if request.is_read:
+            self.stats.reads += 1
+            self.energy.add_read()
+            data_done = channel.reserve_bus(cas_start + timing.tCL, timing.tBL)
+        else:
+            self.stats.writes += 1
+            self.energy.add_write()
+            data_done = channel.reserve_bus(cas_start + timing.tCL, timing.tBL)
+            data_done += timing.tWR  # write recovery before the row can close
+        request.completion_ns = data_done
+        bank.block_until(cas_start + timing.tCCD
+                         + self.mitigation.act_penalty_ns)
+        self.now_ns = max(self.now_ns, cas_start)
+
+    # ------------------------------------------------------------------
+    # mitigation actions
+    # ------------------------------------------------------------------
+    def _run_mitigation(self, request: Request, row: int,
+                        act_start: float) -> None:
+        if act_start >= self._next_refresh_window_ns:
+            self.mitigation.on_refresh_window(act_start)
+            self._next_refresh_window_ns += self.timing.tREFW
+        flat = self._flat_bank(request)
+        actions = self.mitigation.on_activation(flat, row, act_start)
+        for action in actions:
+            if isinstance(action, PreventiveRefresh):
+                self._do_preventive_refresh(action)
+            elif isinstance(action, RfmCommand):
+                self._do_rfm(action)
+            elif isinstance(action, MetadataAccess):
+                self._do_metadata(action)
+            else:  # pragma: no cover - exhaustive over Action
+                raise SimulationError(f"unknown mitigation action {action!r}")
+
+    def _victim_rows(self, aggressor: int,
+                     offsets: tuple[int, ...]) -> list[int]:
+        rows = self.config.rows_per_bank
+        return [aggressor + d for d in offsets
+                if 0 <= aggressor + d < rows]
+
+    def _do_preventive_refresh(self, action: PreventiveRefresh) -> None:
+        bank = self.banks[action.flat_bank]
+        start = max(bank.ready_ns, self.now_ns)
+        duration = 0.0
+        for victim in self._victim_rows(action.aggressor_row,
+                                        action.victim_offsets):
+            tras_ns, full = self.policy.preventive_tras_ns(
+                action.flat_bank, victim, start)
+            duration += tras_ns + self.timing.tRP
+            self.energy.add_preventive_refresh(1, tras_ns)
+            self.stats.preventive_refresh_rows += 1
+            if full:
+                self.stats.preventive_refresh_full += 1
+            else:
+                self.stats.preventive_refresh_partial += 1
+        bank.occupy(start, duration, preventive=True)
+        bank.open_row = None  # the refresh closes the row buffer
+
+    def _do_rfm(self, action: RfmCommand) -> None:
+        bank = self.banks[action.flat_bank]
+        start = max(bank.ready_ns, self.now_ns)
+        duration = 0.0
+        for _ in range(action.victim_rows):
+            tras_ns, full = self.policy.preventive_tras_ns(
+                action.flat_bank, -1, start)
+            duration += tras_ns + self.timing.tRP
+            self.energy.add_preventive_refresh(1, tras_ns)
+            self.stats.preventive_refresh_rows += 1
+            if full:
+                self.stats.preventive_refresh_full += 1
+            else:
+                self.stats.preventive_refresh_partial += 1
+        self.stats.rfm_commands += 1
+        if action.is_backoff:
+            self.stats.backoff_events += 1
+        bank.occupy(start, duration, preventive=True)
+        bank.open_row = None
+
+    def _do_metadata(self, action: MetadataAccess) -> None:
+        bank = self.banks[action.flat_bank]
+        timing = self.timing
+        start = max(bank.ready_ns, self.now_ns)
+        per_access = timing.tRP + timing.tRCD + timing.tCL + timing.tBL
+        total = (action.reads + action.writes) * per_access
+        bank.occupy(start, total)
+        bank.open_row = None
+        self.stats.metadata_reads += action.reads
+        self.stats.metadata_writes += action.writes
+        self.energy.add_metadata_access(action.reads, action.writes)
+
+    # ------------------------------------------------------------------
+    # periodic refresh
+    # ------------------------------------------------------------------
+    def _rows_per_ref(self) -> int:
+        refs_per_window = self.timing.tREFW / self.timing.tREFI
+        rows = self.config.rows_per_bank / refs_per_window
+        return max(1, round(rows))
+
+    def _apply_periodic_refresh(self, up_to_ns: float) -> None:
+        timing = self.timing
+        for rank_index, rank in enumerate(self.ranks):
+            while rank.next_refresh_ns <= up_to_ns:
+                # The policy is consulted per REF command (Appendix B's
+                # window counter advances with each one).
+                scale = self.policy.periodic_refresh_scale()
+                trfc = timing.tRFC * scale
+                start = rank.next_refresh_ns
+                for bank in self._banks_of_rank(rank_index):
+                    busy_from = max(bank.ready_ns, start)
+                    bank.ready_ns = busy_from + trfc
+                    bank.refresh_busy_ns += trfc
+                    bank.open_row = None
+                    self.energy.add_periodic_refresh(
+                        self._rows_per_periodic_refresh, timing.tRAS * scale)
+                self.stats.periodic_refreshes += 1
+                rank.next_refresh_ns += timing.tREFI
+
+    def _banks_of_rank(self, rank_index: int) -> list[BankTimeline]:
+        per_rank = self.config.banks_per_rank
+        lo = rank_index * per_rank
+        return self.banks[lo:lo + per_rank]
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+    def preventive_busy_fraction(self, elapsed_ns: float) -> float:
+        """Fraction of bank-time spent on preventive refreshes (Fig. 3)."""
+        if elapsed_ns <= 0:
+            raise SimulationError("elapsed time must be positive")
+        busy = sum(b.preventive_busy_ns for b in self.banks)
+        return busy / (elapsed_ns * len(self.banks))

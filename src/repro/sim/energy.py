@@ -1,0 +1,74 @@
+"""DRAM energy accounting (DRAMPower-flavored constants).
+
+Absolute joules are approximate; what the paper's Fig. 18 compares — and
+what this model preserves — is the *relative* energy across configurations:
+preventive-refresh energy scales with the charge-restoration latency used,
+and background energy scales with execution time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SimulationError
+
+#: Energy of the non-restoration part of one ACT+PRE cycle (nJ).
+E_ACT_BASE_NJ = 1.0
+#: Restoration energy per nanosecond the row stays under restoration (nJ/ns).
+E_RESTORE_PER_NS = 0.045
+#: Read / write burst energy (nJ per 64 B cache line).
+E_READ_NJ = 1.5
+E_WRITE_NJ = 1.7
+#: Background power per rank (W = nJ/ns * 1e0); covers standby + clocking.
+P_BACKGROUND_W_PER_RANK = 0.30
+
+
+@dataclass
+class EnergyModel:
+    """Accumulates DRAM energy by component, in nanojoules."""
+
+    ranks: int = 2
+    activation_nj: float = 0.0
+    read_nj: float = 0.0
+    write_nj: float = 0.0
+    periodic_refresh_nj: float = 0.0
+    preventive_refresh_nj: float = 0.0
+    metadata_nj: float = 0.0
+    background_nj: float = field(default=0.0)
+
+    def act_energy(self, tras_ns: float) -> float:
+        """Energy of one ACT+PRE cycle with the given restoration time."""
+        if tras_ns <= 0:
+            raise SimulationError("non-positive tRAS in energy model")
+        return E_ACT_BASE_NJ + E_RESTORE_PER_NS * tras_ns
+
+    # ------------------------------------------------------------------
+    def add_activation(self, tras_ns: float) -> None:
+        self.activation_nj += self.act_energy(tras_ns)
+
+    def add_read(self) -> None:
+        self.read_nj += E_READ_NJ
+
+    def add_write(self) -> None:
+        self.write_nj += E_WRITE_NJ
+
+    def add_periodic_refresh(self, rows: int, tras_ns: float) -> None:
+        self.periodic_refresh_nj += rows * self.act_energy(tras_ns)
+
+    def add_preventive_refresh(self, rows: int, tras_ns: float) -> None:
+        self.preventive_refresh_nj += rows * self.act_energy(tras_ns)
+
+    def add_metadata_access(self, reads: int, writes: int) -> None:
+        self.metadata_nj += reads * E_READ_NJ + writes * E_WRITE_NJ
+
+    def finalize_background(self, elapsed_ns: float) -> None:
+        """Charge background power for the whole run (call once at the end)."""
+        if elapsed_ns < 0:
+            raise SimulationError("negative elapsed time")
+        self.background_nj = P_BACKGROUND_W_PER_RANK * self.ranks * elapsed_ns
+
+    @property
+    def total_nj(self) -> float:
+        return (self.activation_nj + self.read_nj + self.write_nj
+                + self.periodic_refresh_nj + self.preventive_refresh_nj
+                + self.metadata_nj + self.background_nj)

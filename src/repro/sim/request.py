@@ -1,0 +1,36 @@
+"""Memory requests flowing from cores into the controller."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.sim.addrmap import DecodedAddress
+
+
+class RequestType(enum.Enum):
+    READ = "read"
+    WRITE = "write"
+
+
+@dataclass
+class Request:
+    """One cache-line-sized memory request."""
+
+    core: int
+    address: int
+    type: RequestType
+    arrival_ns: float
+    decoded: DecodedAddress
+    #: Position of the owning instruction in the core's trace (reads only);
+    #: used by the core model to retire the instruction window.
+    position: int = -1
+    completion_ns: float = field(default=-1.0)
+
+    @property
+    def is_read(self) -> bool:
+        return self.type is RequestType.READ
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Request(core={self.core}, {self.type.value}, "
+                f"row={self.decoded.row}, t={self.arrival_ns:.0f})")

@@ -1,0 +1,110 @@
+"""Simulation statistics: controller counters, per-core IPC, speedups."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SimulationError
+
+
+@dataclass
+class ControllerStats:
+    """Counters accumulated by the memory controller."""
+
+    reads: int = 0
+    writes: int = 0
+    forwarded_reads: int = 0  #: reads served from the write queue
+    row_hits: int = 0
+    row_misses: int = 0
+    activations: int = 0
+    periodic_refreshes: int = 0
+    preventive_refresh_rows: int = 0
+    preventive_refresh_full: int = 0  #: rows refreshed with nominal latency
+    preventive_refresh_partial: int = 0  #: rows refreshed with reduced latency
+    rfm_commands: int = 0
+    backoff_events: int = 0
+    metadata_reads: int = 0
+    metadata_writes: int = 0
+
+    @property
+    def row_hit_rate(self) -> float:
+        total = self.row_hits + self.row_misses
+        return self.row_hits / total if total else 0.0
+
+
+@dataclass
+class CoreStats:
+    """One core's retirement outcome."""
+
+    core: int
+    instructions: int
+    elapsed_ns: float
+    core_clock_ghz: float
+
+    @property
+    def cycles(self) -> float:
+        return self.elapsed_ns * self.core_clock_ghz
+
+    @property
+    def ipc(self) -> float:
+        if self.cycles <= 0:
+            raise SimulationError("core retired instructions in zero time")
+        return self.instructions / self.cycles
+
+
+def weighted_speedup(ipcs: dict[int, float], baseline_ipcs: dict[int, float]) -> float:
+    """Multi-programmed weighted speedup: sum_i IPC_i / IPC_i^baseline.
+
+    The baseline is each workload's IPC when run alone (or, in the paper's
+    normalized plots, under the reference configuration).
+    """
+    if set(ipcs) != set(baseline_ipcs):
+        raise SimulationError("IPC dictionaries cover different cores")
+    if not ipcs:
+        raise SimulationError("empty IPC set")
+    total = 0.0
+    for core, ipc in ipcs.items():
+        base = baseline_ipcs[core]
+        if base <= 0:
+            raise SimulationError(f"non-positive baseline IPC for core {core}")
+        total += ipc / base
+    return total
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """Distribution summary of memory read latencies (ns)."""
+
+    count: int
+    mean_ns: float
+    p50_ns: float
+    p99_ns: float
+    max_ns: float
+
+    @classmethod
+    def from_values(cls, values: list[float]) -> "LatencySummary":
+        if not values:
+            return cls(count=0, mean_ns=0.0, p50_ns=0.0, p99_ns=0.0,
+                       max_ns=0.0)
+        ordered = sorted(values)
+        n = len(ordered)
+        return cls(
+            count=n,
+            mean_ns=sum(ordered) / n,
+            p50_ns=ordered[n // 2],
+            p99_ns=ordered[min(n - 1, (n * 99) // 100)],
+            max_ns=ordered[-1],
+        )
+
+
+@dataclass
+class BusyBreakdown:
+    """Fractions of bank-time spent on each blocking activity (Fig. 3)."""
+
+    preventive_fraction: float = 0.0
+    periodic_fraction: float = 0.0
+
+    def __post_init__(self) -> None:
+        for value in (self.preventive_fraction, self.periodic_fraction):
+            if value < 0:
+                raise SimulationError("negative busy fraction")

@@ -1,0 +1,141 @@
+"""The evaluated workload suites (62 single-core + 60 4-core mixes, §9.1).
+
+Each entry is a synthetic archetype named after the benchmark it emulates,
+with MPKI / locality / footprint / write-mix parameters chosen from the
+published memory behavior of those benchmarks (high-MPKI pointer chasers
+like mcf, streaming solvers like lbm/leslie3d, low-MPKI integer codes like
+perlbench, transactional and key-value server workloads, media kernels).
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+from repro.rng import SeedTree
+from repro.workloads.synth import TraceSpec, generate_trace
+from repro.workloads.trace import Trace
+
+_KLINE = 1024  # cache lines per 64 KB
+
+
+def _spec(name: str, mpki: float, locality: float, footprint_kb: int,
+          write_fraction: float = 0.25, hot_fraction: float = 0.0) -> TraceSpec:
+    return TraceSpec(
+        name=name, mpki=mpki, locality=locality,
+        footprint_lines=max(64, footprint_kb * 1024 // 64),
+        write_fraction=write_fraction, hot_fraction=hot_fraction)
+
+
+#: The 62 single-core workloads (SPEC06, SPEC17, TPC, MediaBench, YCSB).
+WORKLOAD_SPECS: tuple[TraceSpec, ...] = (
+    # --- SPEC CPU2006 (memory-intensive) ---
+    _spec("spec06.mcf", 38.0, 0.15, 32_768, 0.18),
+    _spec("spec06.lbm", 31.0, 0.82, 65_536, 0.45),
+    _spec("spec06.milc", 25.0, 0.55, 49_152, 0.30),
+    _spec("spec06.libquantum", 28.0, 0.90, 16_384, 0.20),
+    _spec("spec06.soplex", 22.0, 0.45, 24_576, 0.22),
+    _spec("spec06.GemsFDTD", 19.0, 0.70, 40_960, 0.35),
+    _spec("spec06.leslie3d", 17.0, 0.75, 32_768, 0.32),
+    _spec("spec06.omnetpp", 16.0, 0.20, 20_480, 0.25),
+    _spec("spec06.sphinx3", 12.0, 0.50, 12_288, 0.12),
+    _spec("spec06.cactusADM", 9.0, 0.65, 24_576, 0.30),
+    _spec("spec06.zeusmp", 7.5, 0.60, 16_384, 0.28),
+    _spec("spec06.wrf", 6.5, 0.62, 16_384, 0.26),
+    _spec("spec06.astar", 5.5, 0.25, 8_192, 0.20),
+    _spec("spec06.bzip2", 4.0, 0.40, 6_144, 0.30),
+    _spec("spec06.gcc", 3.0, 0.35, 4_096, 0.28),
+    _spec("spec06.xalancbmk", 2.5, 0.22, 4_096, 0.18),
+    _spec("spec06.hmmer", 1.5, 0.55, 1_024, 0.15),
+    _spec("spec06.h264ref", 1.2, 0.60, 2_048, 0.20),
+    _spec("spec06.gobmk", 0.9, 0.30, 1_024, 0.18),
+    _spec("spec06.sjeng", 0.8, 0.25, 1_024, 0.15),
+    _spec("spec06.perlbench", 0.7, 0.35, 1_024, 0.22),
+    _spec("spec06.namd", 0.6, 0.55, 1_024, 0.12),
+    _spec("spec06.povray", 0.4, 0.45, 512, 0.10),
+    _spec("spec06.calculix", 0.5, 0.50, 768, 0.14),
+    # --- SPEC CPU2017 ---
+    _spec("spec17.bwaves", 27.0, 0.78, 57_344, 0.35),
+    _spec("spec17.mcf", 30.0, 0.18, 36_864, 0.20),
+    _spec("spec17.lbm", 29.0, 0.85, 65_536, 0.46),
+    _spec("spec17.cam4", 10.0, 0.58, 24_576, 0.28),
+    _spec("spec17.cactuBSSN", 13.0, 0.68, 32_768, 0.33),
+    _spec("spec17.fotonik3d", 21.0, 0.80, 40_960, 0.30),
+    _spec("spec17.roms", 15.0, 0.72, 28_672, 0.31),
+    _spec("spec17.pop2", 8.0, 0.55, 16_384, 0.27),
+    _spec("spec17.omnetpp", 14.0, 0.20, 20_480, 0.24),
+    _spec("spec17.xalancbmk", 3.5, 0.25, 6_144, 0.18),
+    _spec("spec17.gcc", 4.5, 0.33, 8_192, 0.26),
+    _spec("spec17.deepsjeng", 1.1, 0.28, 2_048, 0.16),
+    _spec("spec17.leela", 0.7, 0.30, 1_024, 0.12),
+    _spec("spec17.exchange2", 0.2, 0.40, 256, 0.10),
+    _spec("spec17.x264", 1.8, 0.62, 3_072, 0.24),
+    _spec("spec17.imagick", 1.0, 0.70, 2_048, 0.20),
+    _spec("spec17.nab", 2.2, 0.52, 3_072, 0.15),
+    _spec("spec17.parest", 5.0, 0.48, 10_240, 0.22),
+    _spec("spec17.perlbench", 0.8, 0.35, 1_024, 0.22),
+    _spec("spec17.blender", 2.8, 0.45, 6_144, 0.21),
+    _spec("spec17.wrf", 6.0, 0.60, 14_336, 0.26),
+    _spec("spec17.xz", 7.0, 0.38, 12_288, 0.34),
+    # --- TPC (transactional / analytic; skewed hot rows) ---
+    _spec("tpc.tpcc64", 18.0, 0.30, 32_768, 0.38, hot_fraction=0.12),
+    _spec("tpc.tpch2", 20.0, 0.65, 49_152, 0.15, hot_fraction=0.05),
+    _spec("tpc.tpch6", 24.0, 0.75, 57_344, 0.12, hot_fraction=0.04),
+    _spec("tpc.tpch17", 16.0, 0.55, 40_960, 0.14, hot_fraction=0.06),
+    # --- MediaBench (streaming kernels, modest footprints) ---
+    _spec("media.h263enc", 3.2, 0.80, 2_048, 0.35),
+    _spec("media.h263dec", 2.4, 0.82, 2_048, 0.40),
+    _spec("media.jpg2000enc", 5.5, 0.75, 4_096, 0.36),
+    _spec("media.jpg2000dec", 4.8, 0.78, 4_096, 0.42),
+    _spec("media.mpeg2enc", 4.2, 0.83, 3_072, 0.33),
+    _spec("media.mpeg2dec", 3.6, 0.85, 3_072, 0.38),
+    # --- YCSB (key-value serving; random access, hot keys) ---
+    _spec("ycsb.a", 13.0, 0.18, 49_152, 0.45, hot_fraction=0.20),
+    _spec("ycsb.b", 12.0, 0.18, 49_152, 0.08, hot_fraction=0.20),
+    _spec("ycsb.c", 11.0, 0.18, 49_152, 0.00, hot_fraction=0.22),
+    _spec("ycsb.d", 12.5, 0.22, 49_152, 0.10, hot_fraction=0.25),
+    _spec("ycsb.e", 14.0, 0.40, 57_344, 0.06, hot_fraction=0.10),
+    _spec("ycsb.f", 13.5, 0.20, 49_152, 0.30, hot_fraction=0.18),
+)
+
+_SPEC_BY_NAME = {spec.name: spec for spec in WORKLOAD_SPECS}
+
+if len(WORKLOAD_SPECS) != 62:
+    raise ConfigError(
+        f"expected 62 single-core workloads, have {len(WORKLOAD_SPECS)}")
+
+
+def single_core_suite() -> tuple[str, ...]:
+    """Names of the 62 single-core workloads (§9.1)."""
+    return tuple(spec.name for spec in WORKLOAD_SPECS)
+
+
+def workload_spec(name: str) -> TraceSpec:
+    try:
+        return _SPEC_BY_NAME[name]
+    except KeyError:
+        raise ConfigError(f"unknown workload {name!r}") from None
+
+
+def workload_by_name(name: str, *, requests: int = 20_000,
+                     seed: int = 7) -> Trace:
+    """Generate the trace of one named workload."""
+    return generate_trace(workload_spec(name), requests=requests, seed=seed)
+
+
+def multicore_mixes(count: int = 60, *, seed: int = 11) -> tuple[tuple[str, ...], ...]:
+    """The 60 multiprogrammed 4-core workload mixes (§9.1).
+
+    Mixes are drawn deterministically: each contains at least one
+    memory-intensive workload so memory contention is always exercised,
+    matching how such mixes are typically constructed.
+    """
+    if count <= 0:
+        raise ConfigError("count must be positive")
+    names = single_core_suite()
+    intensive = [s.name for s in WORKLOAD_SPECS if s.mpki >= 10.0]
+    rng = SeedTree(seed).generator("mixes")
+    mixes = []
+    for index in range(count):
+        anchor = intensive[int(rng.integers(0, len(intensive)))]
+        rest = [names[int(i)] for i in rng.integers(0, len(names), size=3)]
+        mixes.append((anchor, *rest))
+    return tuple(mixes)

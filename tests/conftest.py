@@ -1,0 +1,48 @@
+"""Shared fixtures: small hosts, configs, and traces for fast tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bender.host import DRAMBenderHost
+from repro.sim.config import SystemConfig
+from repro.workloads.synth import TraceSpec, generate_trace
+
+
+@pytest.fixture(scope="session")
+def host_s6() -> DRAMBenderHost:
+    """A host connected to module S6 (the PaCRAM-S reference module)."""
+    return DRAMBenderHost("S6", seed=2025)
+
+
+@pytest.fixture(scope="session")
+def host_h5() -> DRAMBenderHost:
+    """A host connected to module H5 (the PaCRAM-H reference module)."""
+    return DRAMBenderHost("H5", seed=2025)
+
+
+@pytest.fixture()
+def single_core_config() -> SystemConfig:
+    return SystemConfig(num_cores=1)
+
+
+@pytest.fixture()
+def quad_core_config() -> SystemConfig:
+    return SystemConfig(num_cores=4)
+
+
+@pytest.fixture(scope="session")
+def small_trace():
+    """A short, memory-intensive trace for simulator tests."""
+    spec = TraceSpec(name="test.intense", mpki=30.0, locality=0.5,
+                     footprint_lines=4096, write_fraction=0.3)
+    return generate_trace(spec, requests=1500, seed=3)
+
+
+@pytest.fixture(scope="session")
+def hot_trace():
+    """A trace with strong hot-row skew (exercises row trackers)."""
+    spec = TraceSpec(name="test.hot", mpki=25.0, locality=0.2,
+                     footprint_lines=8192, write_fraction=0.2,
+                     hot_fraction=0.5, hot_lines=64)
+    return generate_trace(spec, requests=1500, seed=5)

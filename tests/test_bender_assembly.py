@@ -1,0 +1,72 @@
+"""Tests for the test-program assembly format."""
+
+import pytest
+
+from repro.bender.assembly import dumps, loads
+from repro.bender.executor import ProgramExecutor
+from repro.bender.program import TestProgram
+from repro.dram.disturbance import DataPattern
+from repro.dram.module import DRAMModule
+from repro.errors import ProgramError
+from repro.units import MS
+
+
+def sample_program() -> TestProgram:
+    program = TestProgram()
+    program.init_rows(0, 1000, (999, 1001), DataPattern.ROW_STRIPE)
+    program.partial_restoration(0, 1000, 12.0, 2)
+    program.partial_restoration(0, 1000, 12.0, 500)  # bulk macro
+    program.hammer_doublesided(0, (999, 1001), 60_000)
+    program.sleep(100.0)
+    program.sleep_until(64 * MS)
+    program.check_bitflips(0, 1000, key="victim")
+    return program
+
+
+class TestRoundTrip:
+    def test_all_instruction_kinds(self):
+        program = sample_program()
+        restored = loads(dumps(program))
+        assert restored.instructions == program.instructions
+
+    def test_replay_matches_original(self):
+        module_a = DRAMModule("H5", seed=3)
+        module_b = DRAMModule("H5", seed=3)
+        program = sample_program()
+        original = ProgramExecutor(module_a).execute(program)
+        replayed = ProgramExecutor(module_b).execute(loads(dumps(program)))
+        assert replayed.bitflips == original.bitflips
+        assert replayed.duration_ns == original.duration_ns
+
+    def test_comments_and_blanks_ignored(self):
+        text = """
+        # a characterization program
+        SLEEP  ns=50.0   # wait a bit
+
+        SLEEPU target=100.0
+        """
+        program = loads(text)
+        assert len(program) == 2
+
+    def test_listing_is_readable(self):
+        listing = dumps(sample_program())
+        assert "HAMMER bank=0 rows=999,1001 count=60000" in listing
+        assert "pattern=RS" in listing
+
+
+class TestErrors:
+    def test_unknown_mnemonic(self):
+        with pytest.raises(ProgramError, match="line 1"):
+            loads("NOP")
+
+    def test_missing_operand(self):
+        with pytest.raises(ProgramError, match="missing operand"):
+            loads("ACT bank=0 row=5")
+
+    def test_malformed_operand(self):
+        with pytest.raises(ProgramError, match="malformed operand"):
+            loads("SLEEP 100")
+
+    def test_validation_still_applies(self):
+        with pytest.raises(ProgramError):
+            loads("ACT bank=0 row=5 wait=0.0")  # non-positive wait

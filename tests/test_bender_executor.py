@@ -1,0 +1,90 @@
+"""Tests for the program executor."""
+
+import pytest
+
+from repro.bender.executor import ProgramExecutor
+from repro.bender.isa import WriteRow
+from repro.bender.program import TestProgram
+from repro.dram.disturbance import DataPattern
+from repro.dram.module import DRAMModule
+from repro.errors import ProgramError
+from repro.units import MS
+
+
+@pytest.fixture()
+def module() -> DRAMModule:
+    return DRAMModule("H5", seed=11)
+
+
+@pytest.fixture()
+def executor(module) -> ProgramExecutor:
+    return ProgramExecutor(module)
+
+
+class TestProtocolInvariants:
+    def test_act_to_open_bank_rejected(self, executor):
+        program = TestProgram().act(0, 1).act(0, 2)
+        with pytest.raises(ProgramError, match="open bank"):
+            executor.execute(program)
+
+    def test_pre_on_closed_bank_rejected(self, executor):
+        program = TestProgram().pre(0)
+        with pytest.raises(ProgramError, match="closed bank"):
+            executor.execute(program)
+
+    def test_program_must_close_banks(self, executor):
+        program = TestProgram().act(0, 1)
+        with pytest.raises(ProgramError, match="still open"):
+            executor.execute(program)
+
+    def test_read_requires_precharged_bank(self, executor):
+        program = TestProgram()
+        program.instructions.append(WriteRow(0, 1, DataPattern.ROW_STRIPE))
+        program.act(0, 2).check_bitflips(0, 1, key="x")
+        with pytest.raises(ProgramError, match="precharged"):
+            executor.execute(program)
+
+
+class TestExecution:
+    def test_clock_resets_per_program(self, executor, module):
+        program = TestProgram().act(0, 1).pre(0)
+        executor.execute(program)
+        first_end = module.clock_ns
+        executor.execute(program)
+        assert module.clock_ns == pytest.approx(first_end)
+
+    def test_act_pre_applies_reduced_tras(self, executor, module):
+        program = TestProgram()
+        program.init_rows(0, 5, (), DataPattern.ROW_STRIPE)
+        program.act(0, 5, wait_ns=12.0).pre(0)
+        executor.execute(program)
+        assert module.row_state(0, 5).restore_factor == pytest.approx(12 / 33)
+
+    def test_duration_reported(self, executor):
+        program = TestProgram().sleep(1000.0)
+        result = executor.execute(program)
+        assert result.duration_ns == pytest.approx(1000.0)
+
+    def test_sleep_until_noop_when_past(self, executor):
+        program = TestProgram().sleep(2000.0).sleep_until(1000.0)
+        result = executor.execute(program)
+        assert result.duration_ns == pytest.approx(2000.0)
+
+    def test_bitflips_recorded_by_key(self, executor):
+        program = TestProgram()
+        program.init_rows(0, 5, (), DataPattern.ROW_STRIPE)
+        program.check_bitflips(0, 5, key="victim")
+        result = executor.execute(program)
+        assert result.flips("victim") == 0
+
+    def test_full_hammer_program(self, executor, module):
+        victim = 100
+        aggressors = module.mapping.neighbors(victim, 1)
+        program = TestProgram()
+        program.init_rows(0, victim, aggressors, DataPattern.ROW_STRIPE)
+        program.hammer_doublesided(0, aggressors, 100_000)
+        program.sleep_until(64 * MS)
+        program.check_bitflips(0, victim, key="victim")
+        result = executor.execute(program)
+        assert result.flips("victim") > 0
+        assert result.duration_ns >= 64 * MS

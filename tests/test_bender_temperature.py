@@ -1,0 +1,79 @@
+"""Tests for the PID temperature controller."""
+
+import pytest
+
+from repro.bender.temperature import PIDTemperatureController, ThermalPlant
+from repro.errors import ConfigError
+
+
+class TestThermalPlant:
+    def test_heats_toward_target(self):
+        plant = ThermalPlant()
+        before = plant.temperature_c
+        plant.step(heater_watts=100.0, dt_s=5.0)
+        assert plant.temperature_c > before
+
+    def test_cools_to_ambient_without_power(self):
+        plant = ThermalPlant(temperature_c=90.0, ambient_c=25.0)
+        for _ in range(200):
+            plant.step(heater_watts=0.0, dt_s=5.0)
+        assert plant.temperature_c == pytest.approx(25.0, abs=0.5)
+
+    def test_steady_state_is_resistance_times_power(self):
+        plant = ThermalPlant(ambient_c=25.0, thermal_resistance=0.9)
+        for _ in range(500):
+            plant.step(heater_watts=50.0, dt_s=5.0)
+        assert plant.temperature_c == pytest.approx(25.0 + 45.0, abs=0.5)
+
+    def test_invalid_step_rejected(self):
+        with pytest.raises(ConfigError):
+            ThermalPlant().step(10.0, dt_s=0.0)
+
+
+class TestPIDController:
+    @pytest.mark.parametrize("target", [50.0, 65.0, 80.0])
+    def test_settles_within_half_degree(self, target):
+        # The paper's three test temperatures, regulated within +/- 0.5 C.
+        controller = PIDTemperatureController(setpoint_c=target)
+        settled = controller.settle()
+        assert abs(settled - target) <= controller.PRECISION_C
+
+    def test_retarget(self):
+        controller = PIDTemperatureController(setpoint_c=50.0)
+        controller.settle()
+        controller.set_target(80.0)
+        settled = controller.settle()
+        assert abs(settled - 80.0) <= 0.5
+
+    def test_stays_in_band_over_time(self):
+        # Footnote 2: variation < 0.5 C over a long run.
+        controller = PIDTemperatureController(setpoint_c=80.0)
+        controller.settle()
+        temperatures = [controller.step() for _ in range(600)]
+        assert max(temperatures) - min(temperatures) < 1.0
+        assert all(abs(t - 80.0) <= 0.75 for t in temperatures)
+
+    def test_unreachable_setpoint_raises(self):
+        controller = PIDTemperatureController(setpoint_c=200.0,
+                                              max_power_w=50.0)
+        with pytest.raises(ConfigError, match="failed to settle"):
+            controller.settle(timeout_s=300.0)
+
+    def test_invalid_setpoint_rejected(self):
+        with pytest.raises(ConfigError):
+            PIDTemperatureController(setpoint_c=-10.0)
+        controller = PIDTemperatureController()
+        with pytest.raises(ConfigError):
+            controller.set_target(0.0)
+
+
+class TestHostIntegration:
+    def test_host_sets_module_temperature(self):
+        from repro.bender.host import DRAMBenderHost
+        host = DRAMBenderHost("S6", temperature_c=65.0)
+        assert abs(host.module.temperature_c - 65.0) <= 0.5
+
+    def test_host_new_program_uses_device_timing(self):
+        from repro.bender.host import DRAMBenderHost
+        host = DRAMBenderHost("S6")
+        assert host.new_program().timing is host.module.timing

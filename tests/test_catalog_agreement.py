@@ -1,0 +1,54 @@
+"""Calibration-closure tests: the pipeline re-measures the catalog.
+
+For a cross-vendor sample of modules, running Algorithm 1 against the
+device model must recover each module's published Table-3 normalized-N_RH
+curve.  This is the central validity argument of the reproduction (see
+DESIGN.md): the methodology is the paper's, the chips are calibrated
+stand-ins, and the two must close the loop.
+"""
+
+import pytest
+
+from repro.characterization.sweeps import characterize_module
+from repro.dram.catalog import module_spec
+
+#: (module, factors to check): two modules per vendor, spanning weak/strong.
+SAMPLE = (
+    ("H3", (0.64, 0.27)),
+    ("H8", (0.64, 0.27)),
+    ("M0", (0.64, 0.18)),
+    ("M5", (0.64, 0.18)),
+    ("S1", (0.64, 0.27)),
+    ("S10", (0.64, 0.27)),
+)
+
+
+@pytest.mark.parametrize("module_id,factors", SAMPLE)
+def test_measured_ratio_tracks_table3(module_id, factors):
+    result = characterize_module(module_id, tras_factors=factors,
+                                 per_region=8)
+    spec = module_spec(module_id)
+    nominal = result.lowest_nrh(1.00)
+    assert nominal is not None and nominal > 0
+    # The absolute minimum over a 24-row sample sits above the full-bank
+    # minimum but within the row-distribution's head.
+    assert nominal == pytest.approx(spec.nominal_nrh, rel=0.35)
+    for factor in factors:
+        published = spec.nrh_ratio(factor)
+        measured = result.lowest_nrh(factor)
+        if published == 0.0:
+            assert measured == 0, (module_id, factor)
+        else:
+            # abs=0.18: with 24-row samples the sample minimum sits above
+            # the true bank minimum, inflating apparent ratios slightly
+            # (bench_table3 checks the reference modules at 0.15).
+            ratio = measured / nominal
+            assert ratio == pytest.approx(published, abs=0.18), \
+                (module_id, factor)
+
+
+def test_invulnerable_module_stays_clean_everywhere():
+    result = characterize_module("H0", tras_factors=(0.64, 0.18),
+                                 per_region=6)
+    for factor in (1.00, 0.64, 0.18):
+        assert result.lowest_nrh(factor) is None

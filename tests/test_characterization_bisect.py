@@ -1,0 +1,58 @@
+"""Tests for the bi-section N_RH search."""
+
+import pytest
+
+from repro.characterization.bisect import bisect_threshold
+from repro.errors import CharacterizationError
+
+
+def step_function(threshold: int):
+    """Flips appear exactly at ``threshold`` hammers."""
+    def flips_at(hc: int) -> int:
+        return 3 if hc >= threshold else 0
+    return flips_at
+
+
+class TestBisectThreshold:
+    @pytest.mark.parametrize("true_nrh", [1, 999, 7_800, 56_200, 99_999])
+    def test_converges_within_step(self, true_nrh):
+        found = bisect_threshold(step_function(true_nrh))
+        assert found is not None
+        assert found >= true_nrh
+        assert found - true_nrh <= 1_000  # hc_step resolution
+
+    def test_invulnerable_returns_none(self):
+        assert bisect_threshold(step_function(200_000)) is None
+
+    def test_threshold_at_bound(self):
+        assert bisect_threshold(step_function(100_000)) == 100_000
+
+    def test_call_count_logarithmic(self):
+        calls = 0
+
+        def counting(hc: int) -> int:
+            nonlocal calls
+            calls += 1
+            return 1 if hc >= 7_800 else 0
+
+        bisect_threshold(counting)
+        assert calls <= 10  # log2(100K / 1K) + initial check
+
+    def test_custom_bounds(self):
+        found = bisect_threshold(step_function(50), hc_high=1_000,
+                                 hc_low=0, hc_step=10)
+        assert found is not None
+        assert abs(found - 50) <= 10
+
+    def test_invalid_bounds_rejected(self):
+        with pytest.raises(CharacterizationError):
+            bisect_threshold(step_function(5), hc_high=10, hc_low=10)
+        with pytest.raises(CharacterizationError):
+            bisect_threshold(step_function(5), hc_step=0)
+
+    def test_never_returns_non_flipping_count(self):
+        # The returned N_RH always actually produced flips.
+        flips = step_function(43_210)
+        found = bisect_threshold(flips)
+        assert found is not None
+        assert flips(found) > 0

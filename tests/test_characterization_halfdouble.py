@@ -1,0 +1,80 @@
+"""Tests for Half-Double characterization (§6)."""
+
+import pytest
+
+from repro.characterization.halfdouble import (
+    HalfDoubleResult,
+    halfdouble_row_fraction,
+    perform_halfdouble,
+)
+from repro.errors import CharacterizationError
+
+
+class TestPerformHalfDouble:
+    def test_s_modules_never_flip(self, host_s6):
+        flips = perform_halfdouble(host_s6, 0, 100,
+                                   tras_red_ns=33.0, n_pr=1)
+        assert flips == 0
+
+    def test_h_vulnerable_rows_flip(self, host_h5):
+        module = host_h5.module
+        flipped = 0
+        for victim in range(10, 200):
+            if module.mapping.logical_to_physical(victim) + 2 >= \
+                    module.mapping.rows_per_bank:
+                continue
+            flips = perform_halfdouble(host_h5, 0, victim,
+                                       tras_red_ns=33.0, n_pr=1)
+            if flips:
+                flipped += 1
+        assert flipped > 0
+
+    def test_requires_room_for_far_aggressor(self, host_h5):
+        last = host_h5.module.mapping.rows_per_bank - 1
+        with pytest.raises(CharacterizationError):
+            perform_halfdouble(host_h5, 0, last, tras_red_ns=33.0, n_pr=1)
+
+    def test_few_far_hammers_do_not_flip(self, host_h5):
+        # Below the Half-Double far-dose threshold nothing happens.
+        for victim in range(10, 60):
+            flips = perform_halfdouble(host_h5, 0, victim,
+                                       tras_red_ns=33.0, n_pr=1,
+                                       far_hammers=1_000, near_hammers=50)
+            assert flips == 0
+
+
+class TestRowFraction:
+    def test_h_fraction_positive_s_zero(self):
+        h = halfdouble_row_fraction("H7", tras_factor=1.0, per_region=48)
+        s = halfdouble_row_fraction("S6", tras_factor=1.0, per_region=48)
+        assert h.fraction > 0.0
+        assert s.fraction == 0.0
+
+    def test_fraction_dips_at_036(self):
+        # Fig. 13: prevalence decreases (~39 %) at 0.36 tRAS.
+        nominal = halfdouble_row_fraction("H7", tras_factor=1.0,
+                                          per_region=96)
+        reduced = halfdouble_row_fraction("H7", tras_factor=0.36,
+                                          per_region=96)
+        assert reduced.fraction < nominal.fraction
+
+    def test_fraction_spikes_at_018(self):
+        # Fig. 13: sharp increase from 0.36 to 0.18 tRAS.
+        at_036 = halfdouble_row_fraction("H7", tras_factor=0.36,
+                                         per_region=96)
+        at_018 = halfdouble_row_fraction("H7", tras_factor=0.18,
+                                         per_region=96)
+        assert at_018.fraction > at_036.fraction
+
+    def test_restoration_count_weak_effect(self):
+        # Fig. 13 obs. 4: 1x vs 5x restorations changes little.
+        once = halfdouble_row_fraction("H7", tras_factor=0.36, n_pr=1,
+                                       per_region=96)
+        five = halfdouble_row_fraction("H7", tras_factor=0.36, n_pr=5,
+                                       per_region=96)
+        assert abs(once.fraction - five.fraction) < 0.05
+
+    def test_empty_result_raises(self):
+        result = HalfDoubleResult("H7", 1.0, 1, 0, 0)
+        with pytest.raises(CharacterizationError):
+            _ = result.fraction

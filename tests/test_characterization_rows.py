@@ -1,0 +1,53 @@
+"""Tests for test-row selection."""
+
+import pytest
+
+from repro.characterization.rows import select_test_bank, select_test_rows
+from repro.errors import CharacterizationError
+
+
+class TestSelectTestRows:
+    def test_three_regions(self):
+        rows = select_test_rows(65_536, per_region=1024)
+        assert len(rows) == 3 * 1024
+
+    def test_regions_span_bank(self):
+        rows = select_test_rows(65_536, per_region=100)
+        assert min(rows) < 1_000  # beginning
+        assert any(30_000 < r < 36_000 for r in rows)  # middle
+        assert max(rows) > 64_000  # end
+
+    def test_no_duplicates(self):
+        rows = select_test_rows(65_536, per_region=512)
+        assert len(rows) == len(set(rows))
+
+    def test_rows_leave_neighbor_margin(self):
+        rows = select_test_rows(65_536, per_region=64)
+        assert min(rows) >= 2
+        assert max(rows) <= 65_533
+
+    def test_small_bank_rejected(self):
+        with pytest.raises(CharacterizationError):
+            select_test_rows(100, per_region=64)
+
+    def test_invalid_per_region_rejected(self):
+        with pytest.raises(CharacterizationError):
+            select_test_rows(65_536, per_region=0)
+
+
+class TestSelectTestBank:
+    def test_in_range(self):
+        for module_id in ("H5", "M2", "S6"):
+            bank = select_test_bank(module_id, 16)
+            assert 0 <= bank < 16
+
+    def test_deterministic_per_module(self):
+        assert select_test_bank("H5", 16) == select_test_bank("H5", 16)
+
+    def test_varies_across_modules(self):
+        banks = {select_test_bank(f"S{i}", 16) for i in range(14)}
+        assert len(banks) > 1
+
+    def test_invalid_banks_rejected(self):
+        with pytest.raises(CharacterizationError):
+            select_test_bank("H5", 0)

@@ -1,0 +1,70 @@
+"""Tests for characterization sweeps — the calibration loop closure.
+
+These are the key integration tests of the characterization stack: running
+the paper's methodology against the simulated chips must *measure back* the
+published Appendix-C values.
+"""
+
+import pytest
+
+from repro.characterization.sweeps import characterize_module, sweep_npr
+from repro.dram.catalog import module_spec
+
+
+class TestCharacterizeModule:
+    def test_measures_back_s6_curve(self):
+        result = characterize_module(
+            "S6", tras_factors=(1.0, 0.64, 0.36, 0.27), per_region=24)
+        spec = module_spec("S6")
+        nominal = result.lowest_nrh(1.0)
+        assert nominal == pytest.approx(spec.nominal_nrh, rel=0.15)
+        for factor in (0.64, 0.36, 0.27):
+            measured_ratio = result.lowest_nrh(factor) / nominal
+            published = spec.nrh_ratio(factor)
+            assert measured_ratio == pytest.approx(published, abs=0.12), factor
+
+    def test_measures_back_m_flatness(self):
+        result = characterize_module("M2", tras_factors=(1.0, 0.18),
+                                     per_region=12)
+        ratio = result.lowest_nrh(0.18) / result.lowest_nrh(1.0)
+        assert ratio >= 0.9
+
+    def test_detects_retention_failure_factor(self):
+        result = characterize_module("S6", tras_factors=(0.18,),
+                                     per_region=16)
+        assert result.lowest_nrh(0.18) == 0
+
+    def test_invulnerable_module(self):
+        result = characterize_module("H0", tras_factors=(1.0, 0.18),
+                                     per_region=4)
+        assert result.lowest_nrh(1.0) is None
+        assert result.lowest_nrh(0.18) is None
+
+    def test_always_includes_baseline(self):
+        result = characterize_module("S6", tras_factors=(0.36,),
+                                     per_region=4)
+        assert result.at(tras_factor=1.0)  # baseline measured implicitly
+
+    def test_reproducible(self):
+        a = characterize_module("S7", tras_factors=(0.36,), per_region=4,
+                                seed=9)
+        b = characterize_module("S7", tras_factors=(0.36,), per_region=4,
+                                seed=9)
+        assert a.measurements == b.measurements
+
+
+class TestSweepNpr:
+    def test_s_decays_h_flat(self):
+        results = sweep_npr(("S6", "H5"), tras_factors=(0.36,),
+                            n_prs=(1, 1500), per_region=6)
+        s6 = results["S6"]
+        h5 = results["H5"]
+        assert s6.lowest_nrh(0.36, 1500) < s6.lowest_nrh(0.36, 1)
+        assert h5.lowest_nrh(0.36, 1500) == pytest.approx(
+            h5.lowest_nrh(0.36, 1), rel=0.1)
+
+    def test_beyond_npcr_retention_bitflips(self):
+        # Fig. 12: S6 at 0.36 tRAS fails beyond ~2K consecutive restorations.
+        results = sweep_npr(("S6",), tras_factors=(0.36,),
+                            n_prs=(2_500,), per_region=8)
+        assert results["S6"].lowest_nrh(0.36, 2_500) == 0

@@ -1,0 +1,123 @@
+"""Tests for evaluation config files and attack traces."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.mitigations import make_mitigation
+from repro.sim.addrmap import AddressMapper
+from repro.sim.config import SystemConfig
+from repro.sim.configloader import EvaluationConfig
+from repro.sim.system import MemorySystem
+from repro.workloads.attack import (
+    double_sided_trace,
+    many_sided_trace,
+    row_activation_counts,
+)
+
+
+class TestEvaluationConfig:
+    def test_defaults_valid(self):
+        config = EvaluationConfig()
+        assert "PARA" in config.mitigations
+        assert config.sweep_grid().points()
+
+    def test_json_round_trip(self, tmp_path):
+        config = EvaluationConfig(
+            mitigations=("PARA", "Graphene"), nrh_values=(128,),
+            pacram_vendors=(None, "H"), workloads=("spec06.mcf",),
+            requests=500, latency_factor_rfc=0.36)
+        path = tmp_path / "eval.json"
+        config.save(path)
+        loaded = EvaluationConfig.load(path)
+        assert loaded == config
+
+    def test_artifact_knob_names(self, tmp_path):
+        # The A.6 knobs: MITIGATION_LIST / NRH_VALUES / latency factors.
+        path = tmp_path / "eval.json"
+        path.write_text('''{
+            "mitigations": ["RFM"],
+            "nrh_values": [64, 32],
+            "latency_factor_vrr": 0.36,
+            "latency_factor_rfc": 0.64
+        }''')
+        config = EvaluationConfig.load(path)
+        assert config.mitigations == ("RFM",)
+        assert config.latency_factor_vrr == 0.36
+        assert config.latency_factor_rfc == 0.64
+
+    def test_unknown_key_rejected(self, tmp_path):
+        path = tmp_path / "eval.json"
+        path.write_text('{"mitigaitons": ["RFM"]}')  # typo'd key
+        with pytest.raises(ConfigError, match="unknown config keys"):
+            EvaluationConfig.load(path)
+
+    def test_unknown_mitigation_rejected(self):
+        with pytest.raises(ConfigError):
+            EvaluationConfig(mitigations=("TRR",))
+
+    def test_malformed_json_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(ConfigError, match="malformed"):
+            EvaluationConfig.load(path)
+
+    def test_none_vendor_spelled_out(self, tmp_path):
+        path = tmp_path / "eval.json"
+        path.write_text('{"pacram_vendors": ["none", "S"]}')
+        config = EvaluationConfig.load(path)
+        assert config.pacram_vendors == (None, "S")
+
+    def test_grid_matches_knobs(self):
+        config = EvaluationConfig(mitigations=("PARA",), nrh_values=(64,),
+                                  pacram_vendors=(None,),
+                                  workloads=("a", "b"))
+        assert len(config.sweep_grid().points()) == 2
+
+
+class TestAttackTraces:
+    def test_double_sided_targets_neighbors(self):
+        config = SystemConfig(num_cores=1)
+        trace = double_sided_trace(config, victim_row=1000, hammers=50)
+        mapper = AddressMapper(config)
+        rows = {mapper.decode(int(a)).row for a in trace.addresses}
+        assert rows == {999, 1001}
+
+    def test_double_sided_every_access_misses(self):
+        config = SystemConfig(num_cores=1)
+        trace = double_sided_trace(config, hammers=500)
+        counts = row_activation_counts(config, trace)
+        assert sum(counts.values()) == len(trace)
+
+    def test_double_sided_triggers_mitigation_in_system(self):
+        config = SystemConfig(num_cores=1)
+        trace = double_sided_trace(config, hammers=600)
+        mitigation = make_mitigation("Graphene", 512)
+        result = MemorySystem(config, [trace], mitigation=mitigation).run()
+        assert result.controller_stats.preventive_refresh_rows > 0
+
+    def test_many_sided_spreads_rows(self):
+        config = SystemConfig(num_cores=1)
+        trace = many_sided_trace(config, aggressor_rows=8,
+                                 hammers_per_row=20)
+        mapper = AddressMapper(config)
+        rows = {mapper.decode(int(a)).row for a in trace.addresses}
+        assert len(rows) == 8
+
+    def test_many_sided_evades_high_thresholds(self):
+        # Spreading 8 x 250 activations keeps each row below a 512-count
+        # tracker threshold: zero preventive refreshes despite 2000 ACTs.
+        config = SystemConfig(num_cores=1)
+        trace = many_sided_trace(config, aggressor_rows=8,
+                                 hammers_per_row=250)
+        mitigation = make_mitigation("Graphene", 4096)  # threshold 1024
+        result = MemorySystem(config, [trace], mitigation=mitigation).run()
+        assert result.controller_stats.preventive_refresh_rows == 0
+
+    def test_validation(self):
+        config = SystemConfig(num_cores=1)
+        with pytest.raises(ConfigError):
+            double_sided_trace(config, hammers=0)
+        with pytest.raises(ConfigError):
+            double_sided_trace(config, victim_row=0)
+        with pytest.raises(ConfigError):
+            many_sided_trace(config, aggressor_rows=1)

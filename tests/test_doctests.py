@@ -1,0 +1,25 @@
+"""Keep the docstring examples honest."""
+
+import doctest
+
+import pytest
+
+import repro.analysis.render
+import repro.dram.charge
+import repro.rng
+import repro.units
+
+MODULES = (
+    repro.units,
+    repro.rng,
+    repro.dram.charge,
+    repro.analysis.render,
+)
+
+
+@pytest.mark.parametrize("module", MODULES,
+                         ids=lambda m: m.__name__)
+def test_module_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0
+    assert results.attempted > 0  # the module actually carries examples

@@ -1,0 +1,122 @@
+"""Tests for the Appendix-C module catalog."""
+
+import pytest
+
+from repro.dram.catalog import (
+    PACRAM_REFERENCE_MODULES,
+    PACRAM_TRAS_FACTORS,
+    ModuleSpec,
+    all_module_ids,
+    all_module_specs,
+    module_spec,
+    modules_by_manufacturer,
+    total_chip_count,
+)
+from repro.dram.timing import TESTED_TRAS_FACTORS
+from repro.dram.vendor import Manufacturer
+from repro.errors import UnknownModuleError
+
+
+class TestInventory:
+    def test_thirty_modules(self):
+        assert len(all_module_ids()) == 30
+
+    def test_388_chips_total(self):
+        # Table 1: the paper tests 388 real DDR4 chips.
+        assert total_chip_count() == 388
+
+    def test_vendor_split(self):
+        assert len(modules_by_manufacturer("H")) == 9
+        assert len(modules_by_manufacturer("M")) == 7
+        assert len(modules_by_manufacturer("S")) == 14
+
+    def test_unknown_module_rejected(self):
+        with pytest.raises(UnknownModuleError):
+            module_spec("Z9")
+
+    def test_lookup_case_insensitive(self):
+        assert module_spec("s6").module_id == "S6"
+
+
+class TestTable3Data:
+    def test_every_module_covers_all_factors(self):
+        for spec in all_module_specs():
+            for factor in TESTED_TRAS_FACTORS:
+                assert factor in spec.lowest_nrh
+
+    def test_h0_shows_no_bitflips(self):
+        spec = module_spec("H0")
+        assert not spec.vulnerable()
+        assert all(v is None for v in spec.lowest_nrh.values())
+
+    def test_s6_reference_values(self):
+        # §8.3's worked example: S6 has N_RH 7.8K nominal, 3.9K at 0.27.
+        spec = module_spec("S6")
+        assert spec.nominal_nrh == 7_800
+        assert spec.lowest_nrh[0.27] == 3_900
+        assert spec.lowest_nrh[0.18] == 0  # retention bitflips
+
+    def test_h5_reference_values(self):
+        # §9.1's worked example: H5 at 10.2K nominal.
+        assert module_spec("H5").nominal_nrh == 10_200
+
+    def test_mfr_m_is_flat(self):
+        # Fig. 7: Mfr. M modules barely change even at 0.18 tRAS.
+        for spec in modules_by_manufacturer("M"):
+            ratio = spec.nrh_ratio(0.18)
+            assert ratio is not None and ratio >= 0.90
+
+    def test_mfr_s_mostly_fails_at_smallest_latency(self):
+        failing = [s for s in modules_by_manufacturer("S")
+                   if s.lowest_nrh[0.18] == 0]
+        assert len(failing) >= 12  # all but S2 in Table 3
+
+    def test_ratios_normalized(self):
+        spec = module_spec("S7")
+        assert spec.nrh_ratio(1.00) == pytest.approx(1.0)
+        assert spec.nrh_ratio(0.27) == pytest.approx(0.5, abs=0.01)
+
+
+class TestTable4Data:
+    def test_pacram_columns_complete(self):
+        for spec in all_module_specs():
+            for factor in PACRAM_TRAS_FACTORS:
+                assert factor in spec.pacram
+
+    def test_s6_worked_example(self):
+        # §8.3: S6 at 0.36 tRAS has N_RH 3.9K and N_PCR 2K.
+        params = module_spec("S6").pacram[0.36]
+        assert params is not None
+        assert params.nrh == 3_900
+        assert params.npcr == 2_000
+
+    def test_h5_worked_example(self):
+        # §9.1: H5 refreshed 300 times at 0.27 tRAS -> N_RH 9.4K.
+        params = module_spec("H5").pacram[0.27]
+        assert params is not None
+        assert params.nrh == 9_400
+        assert params.npcr == 300
+
+    def test_na_cells_match_retention_failures(self):
+        # Wherever Table 3 reads 0 (retention bitflips), Table 4 is N/A.
+        for spec in all_module_specs():
+            if not spec.vulnerable():
+                continue
+            for factor in PACRAM_TRAS_FACTORS:
+                if spec.lowest_nrh[factor] == 0:
+                    assert spec.pacram[factor] is None, (
+                        f"{spec.module_id}@{factor}")
+                else:
+                    assert spec.pacram[factor] is not None, (
+                        f"{spec.module_id}@{factor}")
+
+
+class TestReferenceModules:
+    def test_pacram_h_m_s(self):
+        # §9.1: PaCRAM-H/M/S use modules H5, M2, S6.
+        assert PACRAM_REFERENCE_MODULES[Manufacturer.H] == "H5"
+        assert PACRAM_REFERENCE_MODULES[Manufacturer.M] == "M2"
+        assert PACRAM_REFERENCE_MODULES[Manufacturer.S] == "S6"
+
+    def test_row_bits(self):
+        assert ModuleSpec.row_bits() == 65_536

@@ -1,0 +1,110 @@
+"""Tests for disturbance kernels and data patterns."""
+
+import pytest
+
+from repro.dram.disturbance import (
+    ALL_PATTERNS,
+    BLAST_RADIUS,
+    PATTERN_BASE_EFFECTIVENESS,
+    DataPattern,
+    HammerDose,
+    ZERO_DOSE,
+    distance_weight,
+    double_sided_dose,
+    half_double_dose,
+)
+from repro.errors import ConfigError
+
+
+class TestDataPatterns:
+    def test_six_hammering_patterns(self):
+        # Algorithm 1 sweeps exactly six patterns (§4.3).
+        assert len(ALL_PATTERNS) == 6
+
+    def test_row_stripe_bytes(self):
+        assert DataPattern.ROW_STRIPE.victim_byte == 0xFF
+        assert DataPattern.ROW_STRIPE.aggressor_byte == 0x00
+
+    def test_inverse_pairs(self):
+        assert (DataPattern.ROW_STRIPE_INV.victim_byte
+                == DataPattern.ROW_STRIPE.aggressor_byte)
+        assert (DataPattern.CHECKERBOARD_INV.victim_byte
+                == DataPattern.CHECKERBOARD.aggressor_byte)
+
+    def test_short_names_unique(self):
+        names = {p.short_name for p in DataPattern}
+        assert len(names) == len(list(DataPattern))
+
+    def test_effectiveness_covers_all_patterns(self):
+        for pattern in DataPattern:
+            assert pattern in PATTERN_BASE_EFFECTIVENESS
+
+    def test_row_stripe_is_strongest(self):
+        strongest = max(PATTERN_BASE_EFFECTIVENESS,
+                        key=PATTERN_BASE_EFFECTIVENESS.__getitem__)
+        assert strongest is DataPattern.ROW_STRIPE
+
+
+class TestDistanceWeights:
+    def test_blast_radius_two(self):
+        assert BLAST_RADIUS == 2
+
+    def test_distance_one_dominates(self):
+        assert distance_weight(1) == 1.0
+        assert 0 < distance_weight(2) < 0.1
+
+    def test_beyond_blast_radius_zero(self):
+        assert distance_weight(3) == 0.0
+        assert distance_weight(10) == 0.0
+
+    def test_invalid_distance_rejected(self):
+        with pytest.raises(ConfigError):
+            distance_weight(0)
+
+
+class TestHammerDose:
+    def test_zero_dose(self):
+        assert ZERO_DOSE.is_zero
+        assert ZERO_DOSE.effective() == 0.0
+
+    def test_add_is_functional(self):
+        dose = ZERO_DOSE.add(1, 100)
+        assert ZERO_DOSE.is_zero  # original unchanged
+        assert dose.near == 100
+
+    def test_add_by_distance(self):
+        dose = ZERO_DOSE.add(1, 10).add(2, 1000)
+        assert dose.near == 10
+        assert dose.far == 1000
+
+    def test_distance_beyond_radius_ignored(self):
+        dose = ZERO_DOSE.add(3, 1000)
+        assert dose.is_zero
+
+    def test_effective_weighs_far(self):
+        dose = HammerDose(near=10, far=1000)
+        assert dose.effective(far_weight=0.01) == pytest.approx(20.0)
+
+
+class TestAccessPatternDoses:
+    def test_double_sided_couples_both_sides(self):
+        # N_RH counts activations per aggressor; the victim sees 2x.
+        dose = double_sided_dose(5000)
+        assert dose.near == 10_000
+        assert dose.far == 0
+
+    def test_double_sided_zero(self):
+        assert double_sided_dose(0).is_zero
+
+    def test_double_sided_negative_rejected(self):
+        with pytest.raises(ConfigError):
+            double_sided_dose(-1)
+
+    def test_half_double_split(self):
+        dose = half_double_dose(far_hammers=60_000, near_hammers=300)
+        assert dose.far == 60_000
+        assert dose.near == 300
+
+    def test_half_double_negative_rejected(self):
+        with pytest.raises(ConfigError):
+            half_double_dose(-1, 0)

@@ -1,0 +1,99 @@
+"""Tests for the SEC-DED ECC substrate."""
+
+import pytest
+
+from repro.dram.ecc import (
+    CODEWORD_BITS,
+    DecodeResult,
+    EccOutcome,
+    decode,
+    effective_failure_probability,
+    encode,
+    row_outcome,
+)
+from repro.errors import ConfigError
+
+WORDS = (0, 1, 0xDEADBEEFCAFEBABE, (1 << 64) - 1, 0x0123456789ABCDEF)
+
+
+class TestCodec:
+    @pytest.mark.parametrize("word", WORDS)
+    def test_round_trip_clean(self, word):
+        result = decode(encode(word))
+        assert result.data == word
+        assert result.clean
+
+    @pytest.mark.parametrize("word", WORDS[:3])
+    def test_corrects_any_single_bit_error(self, word):
+        codeword = encode(word)
+        for position in range(CODEWORD_BITS):
+            corrupted = codeword ^ (1 << position)
+            result = decode(corrupted)
+            assert result.data == word, f"bit {position}"
+            assert result.corrected
+            assert not result.detected_uncorrectable
+
+    def test_detects_double_bit_errors(self):
+        codeword = encode(0xDEADBEEFCAFEBABE)
+        detected = 0
+        trials = 0
+        for a in range(0, CODEWORD_BITS, 7):
+            for b in range(a + 1, CODEWORD_BITS, 11):
+                trials += 1
+                result = decode(codeword ^ (1 << a) ^ (1 << b))
+                if result.detected_uncorrectable:
+                    detected += 1
+        assert detected == trials  # SEC-DED guarantees double detection
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ConfigError):
+            encode(1 << 64)
+        with pytest.raises(ConfigError):
+            decode(1 << 72)
+
+
+class TestRowOutcome:
+    def test_no_flips_no_errors(self):
+        outcome = row_outcome(0)
+        assert outcome.corrected_words == 0
+        assert outcome.survives
+
+    def test_sparse_flips_absorbed(self):
+        # A few random flips over 1024 words: SEC-DED corrects them all.
+        outcome = row_outcome(3)
+        assert outcome.survives
+        assert outcome.corrected_words == pytest.approx(3, rel=0.05)
+
+    def test_dense_flips_break_through(self):
+        outcome = row_outcome(5_000)
+        assert not outcome.survives
+        assert outcome.uncorrectable_words > 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigError):
+            row_outcome(-1)
+
+
+class TestPaCRAMInteraction:
+    def test_ecc_absorbs_sparse_retention_failures(self):
+        # §10: weak-cell retention failures (1-2 cells/row) vanish behind
+        # SEC-DED, widening PaCRAM's safe envelope.
+        assert effective_failure_probability(1e-4, flips_when_failing=1) == 0.0
+
+    def test_ecc_does_not_absorb_dense_failures(self):
+        assert effective_failure_probability(
+            1e-4, flips_when_failing=5_000) == pytest.approx(1e-4)
+
+    def test_invalid_fraction_rejected(self):
+        with pytest.raises(ConfigError):
+            effective_failure_probability(1.5)
+
+
+class TestDataclasses:
+    def test_decode_result_clean_flag(self):
+        assert DecodeResult(0, False, False).clean
+        assert not DecodeResult(0, True, False).clean
+
+    def test_outcome_survival_boundary(self):
+        assert EccOutcome(10.0, 0.4).survives
+        assert not EccOutcome(0.0, 0.6).survives

@@ -1,0 +1,76 @@
+"""Tests for internal row address mapping."""
+
+import pytest
+
+from repro.dram.mapping import RowMapping, mapping_for_vendor
+from repro.dram.vendor import Manufacturer
+from repro.errors import ConfigError
+
+
+class TestRowMapping:
+    def test_sequential_identity(self):
+        mapping = RowMapping(rows_per_bank=1024)
+        assert mapping.logical_to_physical(100) == 100
+        assert mapping.physical_to_logical(100) == 100
+
+    def test_scrambled_is_involution(self):
+        mapping = RowMapping(rows_per_bank=1024, scramble_mask=0b110)
+        for row in (0, 1, 5, 100, 1023):
+            physical = mapping.logical_to_physical(row)
+            assert mapping.physical_to_logical(physical) == row
+
+    def test_scrambled_is_bijective(self):
+        mapping = RowMapping(rows_per_bank=256, scramble_mask=0b110)
+        images = {mapping.logical_to_physical(r) for r in range(256)}
+        assert images == set(range(256))
+
+    def test_neighbors_sequential(self):
+        mapping = RowMapping(rows_per_bank=1024)
+        assert mapping.neighbors(100) == (99, 101)
+        assert mapping.neighbors(100, distance=2) == (98, 102)
+
+    def test_neighbors_at_edges(self):
+        mapping = RowMapping(rows_per_bank=1024)
+        assert mapping.neighbors(0) == (1,)
+        assert mapping.neighbors(1023) == (1022,)
+
+    def test_neighbors_under_scramble_are_physical(self):
+        mapping = RowMapping(rows_per_bank=1024, scramble_mask=0b110)
+        for neighbor in mapping.neighbors(100):
+            assert mapping.physical_distance(100, neighbor) == 1
+
+    def test_physical_distance(self):
+        mapping = RowMapping(rows_per_bank=64, scramble_mask=0b110)
+        a, b = 10, 20
+        expected = abs(mapping.logical_to_physical(a)
+                       - mapping.logical_to_physical(b))
+        assert mapping.physical_distance(a, b) == expected
+
+    def test_out_of_range_rejected(self):
+        mapping = RowMapping(rows_per_bank=64)
+        with pytest.raises(ConfigError):
+            mapping.logical_to_physical(64)
+        with pytest.raises(ConfigError):
+            mapping.neighbors(-1)
+
+    def test_invalid_distance_rejected(self):
+        with pytest.raises(ConfigError):
+            RowMapping(rows_per_bank=64).neighbors(3, distance=0)
+
+
+class TestVendorMappings:
+    def test_s_uses_scrambling(self):
+        mapping = mapping_for_vendor(Manufacturer.S, 1024)
+        assert mapping.scramble_mask != 0
+
+    def test_h_and_m_sequential(self):
+        for vendor in (Manufacturer.H, Manufacturer.M):
+            assert mapping_for_vendor(vendor, 1024).scramble_mask == 0
+
+    def test_scrambled_neighbors_not_logical(self):
+        mapping = mapping_for_vendor(Manufacturer.S, 1024)
+        # Under scrambling, at least some rows' physical neighbors differ
+        # from their logical neighbors.
+        differs = any(set(mapping.neighbors(r)) != {r - 1, r + 1}
+                      for r in range(1, 1023))
+        assert differs

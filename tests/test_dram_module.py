@@ -1,0 +1,158 @@
+"""Tests for the command-level DRAM module device model."""
+
+import pytest
+
+from repro.dram.disturbance import DataPattern
+from repro.dram.module import DRAMModule
+from repro.errors import DeviceError
+from repro.units import MS
+
+
+@pytest.fixture()
+def module() -> DRAMModule:
+    return DRAMModule("S6", seed=2025)
+
+
+def prepare_rows(module: DRAMModule, victim: int,
+                 pattern=DataPattern.ROW_STRIPE) -> tuple[int, ...]:
+    aggressors = module.mapping.neighbors(victim, 1)
+    module.write_row(0, victim, pattern)
+    for row in aggressors:
+        module.write_row(0, row, pattern)
+    return aggressors
+
+
+class TestBasicOperations:
+    def test_write_then_read_no_flips(self, module):
+        module.write_row(0, 50, DataPattern.CHECKERBOARD)
+        assert module.read_row_bitflips(0, 50) == 0
+
+    def test_read_uninitialized_rejected(self, module):
+        with pytest.raises(DeviceError):
+            module.read_row_bitflips(0, 51)
+
+    def test_clock_advances(self, module):
+        start = module.clock_ns
+        module.activate(0, 10)
+        assert module.clock_ns > start
+
+    def test_activate_with_reduced_tras(self, module):
+        module.write_row(0, 60, DataPattern.ROW_STRIPE)
+        module.activate(0, 60, tras_ns=12.0)
+        state = module.row_state(0, 60)
+        assert state.restore_factor == pytest.approx(12.0 / 33.0)
+        assert state.consecutive_partial == 1
+
+    def test_full_activation_resets_partial_streak(self, module):
+        module.write_row(0, 60, DataPattern.ROW_STRIPE)
+        module.activate(0, 60, tras_ns=12.0)
+        module.activate(0, 60, tras_ns=12.0)
+        assert module.row_state(0, 60).consecutive_partial == 2
+        module.activate(0, 60)  # nominal
+        assert module.row_state(0, 60).consecutive_partial == 0
+
+    def test_partial_restore_bulk(self, module):
+        module.write_row(0, 60, DataPattern.ROW_STRIPE)
+        module.partial_restore(0, 60, 12.0, 500)
+        assert module.row_state(0, 60).consecutive_partial == 500
+
+    def test_invalid_address_rejected(self, module):
+        with pytest.raises(DeviceError):
+            module.write_row(99, 0, DataPattern.ROW_STRIPE)
+
+    def test_negative_elapse_rejected(self, module):
+        with pytest.raises(DeviceError):
+            module.elapse(-1.0)
+
+
+class TestHammering:
+    def test_enough_hammers_flip(self, module):
+        victim = 200
+        aggressors = prepare_rows(module, victim)
+        module.hammer(0, aggressors, 100_000)
+        module.elapse(64 * MS)
+        assert module.read_row_bitflips(0, victim) > 0
+
+    def test_few_hammers_do_not_flip(self, module):
+        victim = 200
+        aggressors = prepare_rows(module, victim)
+        module.hammer(0, aggressors, 500)
+        module.elapse(64 * MS)
+        assert module.read_row_bitflips(0, victim) == 0
+
+    def test_refresh_heals_disturbance(self, module):
+        victim = 200
+        aggressors = prepare_rows(module, victim)
+        module.hammer(0, aggressors, 100_000)
+        module.activate(0, victim)  # preventive refresh, nominal latency
+        module.elapse(64 * MS)
+        assert module.read_row_bitflips(0, victim) == 0
+
+    def test_partial_restoration_weakens_victim(self, module):
+        # The core phenomenon: a partially restored victim flips at a
+        # hammer count that a fully restored victim survives.
+        victim = 200
+        pop = module.row_population(0, victim)
+        pattern = pop.worst_case_pattern()
+        nrh = pop.effective_nrh(pattern=pattern)
+        hammer_count = int(nrh * 0.85)  # below nominal threshold
+
+        aggressors = prepare_rows(module, victim, pattern)
+        module.hammer(0, aggressors, hammer_count)
+        module.elapse(64 * MS)
+        assert module.read_row_bitflips(0, victim) == 0
+
+        aggressors = prepare_rows(module, victim, pattern)
+        module.activate(0, victim, tras_ns=33.0 * 0.27)  # partial restore
+        module.hammer(0, aggressors, hammer_count)
+        module.elapse(64 * MS)
+        assert module.read_row_bitflips(0, victim) > 0
+
+    def test_hammer_accounts_time(self, module):
+        start = module.clock_ns
+        module.hammer(0, (10, 12), 1000)
+        expected = 2 * 1000 * module.timing.tRC
+        assert module.clock_ns - start == pytest.approx(expected)
+
+    def test_negative_count_rejected(self, module):
+        with pytest.raises(DeviceError):
+            module.hammer(0, (10,), -1)
+
+
+class TestRetentionBehavior:
+    def test_partial_restore_at_018_causes_retention_flips(self):
+        # Table 3 red cell: S6 at 0.18 tRAS shows N_RH = 0 behavior.
+        module = DRAMModule("S6", seed=2025)
+        flips_found = 0
+        for victim in range(2, 120):
+            module.write_row(0, victim, DataPattern.SOLID_ONES)
+            module.activate(0, victim, tras_ns=33.0 * 0.18)
+            module.elapse(64 * MS)
+            if module.read_row_bitflips(0, victim) > 0:
+                flips_found += 1
+        assert flips_found > 0
+
+    def test_nominal_restore_retains(self):
+        module = DRAMModule("S6", seed=2025)
+        module.write_row(0, 30, DataPattern.SOLID_ONES)
+        module.activate(0, 30)
+        module.elapse(64 * MS)
+        assert module.read_row_bitflips(0, 30) == 0
+
+
+class TestDeterminism:
+    def test_same_seed_same_flips(self):
+        counts = []
+        for _ in range(2):
+            module = DRAMModule("H5", seed=77)
+            victim = 300
+            aggressors = prepare_rows(module, victim)
+            module.hammer(0, aggressors, 80_000)
+            module.elapse(64 * MS)
+            counts.append(module.read_row_bitflips(0, victim))
+        assert counts[0] == counts[1]
+
+    def test_different_seed_different_rows(self):
+        a = DRAMModule("H5", seed=1).row_population(0, 5).traits.base_nrh
+        b = DRAMModule("H5", seed=2).row_population(0, 5).traits.base_nrh
+        assert a != b

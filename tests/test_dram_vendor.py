@@ -1,0 +1,59 @@
+"""Tests for manufacturer profiles."""
+
+import pytest
+
+from repro.dram.vendor import Manufacturer, vendor_profile
+from repro.errors import ConfigError
+
+
+class TestManufacturer:
+    def test_from_module_id(self):
+        assert Manufacturer.from_module_id("H5") is Manufacturer.H
+        assert Manufacturer.from_module_id("M2") is Manufacturer.M
+        assert Manufacturer.from_module_id("s13") is Manufacturer.S
+
+    def test_invalid_ids_rejected(self):
+        with pytest.raises(ConfigError):
+            Manufacturer.from_module_id("X1")
+        with pytest.raises(ConfigError):
+            Manufacturer.from_module_id("")
+
+
+class TestVendorProfiles:
+    def test_lookup_by_string(self):
+        assert vendor_profile("h").manufacturer is Manufacturer.H
+
+    def test_safe_reductions_match_paper(self):
+        # §5.1 red lines: 64 % (H), 82 % (M), 36 % (S) reductions.
+        assert vendor_profile("H").safe_tras_factor_nrh == pytest.approx(0.36)
+        assert vendor_profile("M").safe_tras_factor_nrh == pytest.approx(0.18)
+        assert vendor_profile("S").safe_tras_factor_nrh == pytest.approx(0.64)
+
+    def test_ber_safe_reductions_match_paper(self):
+        # §5.2 red lines: 36 % (H), 82 % (M), 19 % (S) reductions.
+        assert vendor_profile("H").safe_tras_factor_ber == pytest.approx(0.64)
+        assert vendor_profile("M").safe_tras_factor_ber == pytest.approx(0.18)
+        assert vendor_profile("S").safe_tras_factor_ber == pytest.approx(0.81)
+
+    def test_only_h_has_halfdouble(self):
+        # §6: only Mfr. H modules exhibit Half-Double bitflips.
+        assert vendor_profile("H").halfdouble_row_fraction > 0
+        assert vendor_profile("M").halfdouble_row_fraction == 0
+        assert vendor_profile("S").halfdouble_row_fraction == 0
+
+    def test_only_s_decays_under_repeated_pcr(self):
+        # Fig. 12: only Mfr. S shows N_RH decay with restorations.
+        assert vendor_profile("S").pcr_decay_restorations is not None
+        assert vendor_profile("H").pcr_decay_restorations is None
+        assert vendor_profile("M").pcr_decay_restorations is None
+
+    def test_halfdouble_shape_dips_then_spikes(self):
+        # Fig. 13: prevalence dips at 0.36 (-39 %) and spikes at 0.18.
+        shape = vendor_profile("H").halfdouble_shape
+        assert shape[0.36] < shape[1.00]
+        assert shape[0.18] > shape[1.00]
+
+    def test_temperature_sensitivities_small(self):
+        # Takeaway 4 magnitudes: 0.31 % / 0.20 % / 0.08 %.
+        for vendor in "HMS":
+            assert vendor_profile(vendor).temperature_nrh_sensitivity < 0.01

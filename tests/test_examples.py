@@ -1,0 +1,77 @@
+"""Integration tests: every example script runs end to end.
+
+Examples are the library's front door; these tests keep them from rotting.
+Each runs in-process with downsized parameters where the script accepts
+them.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, *args: str) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True, text=True, timeout=420)
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+def test_examples_directory_contents():
+    scripts = sorted(p.name for p in EXAMPLES.glob("*.py"))
+    assert "quickstart.py" in scripts
+    assert len(scripts) >= 5  # quickstart + at least four scenarios
+
+
+def test_quickstart():
+    out = run_example("quickstart.py")
+    assert "lowest N_RH at nominal tRAS" in out
+    assert "374" in out  # the published t_FCRI comparison
+    assert "IPC" in out
+
+
+def test_characterize_module():
+    out = run_example("characterize_module.py", "S7", "--rows", "6")
+    assert "K4A8G085WD-BCTD" in out
+    assert "Normalized BER" in out
+
+
+def test_characterize_module_saves_json(tmp_path):
+    path = tmp_path / "s7.json"
+    run_example("characterize_module.py", "S7", "--rows", "4",
+                "--save", str(path))
+    assert path.exists()
+
+
+def test_pacram_speedup():
+    out = run_example("pacram_speedup.py", "--requests", "400",
+                      "--nrh", "128")
+    assert "PaCRAM-H" in out
+    assert "Graphene" in out
+
+
+def test_rowhammer_attack_demo():
+    out = run_example("rowhammer_attack_demo.py")
+    assert "Double-sided RowHammer" in out
+    assert "Half-Double" in out
+    assert "refresh healed" in out
+
+
+def test_deployment_flow():
+    out = run_example("deployment_flow.py")
+    assert "SPD" in out
+    assert "mode-register writes" in out
+    assert "SEC-DED" in out
+
+
+@pytest.mark.parametrize("flags", [("--densities", "8,64",
+                                    "--requests", "400")])
+def test_periodic_refresh_study(flags):
+    out = run_example("periodic_refresh_study.py", *flags)
+    assert "no-refresh system" in out
+    assert "512 Gb" in out or "64 Gb" in out

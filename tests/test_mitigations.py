@@ -1,0 +1,209 @@
+"""Tests for the five RowHammer mitigation mechanisms."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.mitigations import MITIGATION_CLASSES, make_mitigation
+from repro.mitigations.base import (
+    BLAST_ROWS,
+    MetadataAccess,
+    NoMitigation,
+    PreventiveRefresh,
+    RfmCommand,
+)
+from repro.mitigations.graphene import Graphene, _BankTable
+from repro.mitigations.hydra import Hydra
+from repro.mitigations.para import PARA
+from repro.mitigations.prac import PRAC
+from repro.mitigations.rfm import RFM
+
+
+class TestFactory:
+    def test_all_five_plus_none(self):
+        assert set(MITIGATION_CLASSES) == {
+            "None", "PARA", "RFM", "PRAC", "Hydra", "Graphene"}
+
+    def test_make_by_name(self):
+        assert isinstance(make_mitigation("PARA", 1024), PARA)
+        assert isinstance(make_mitigation("None", 1), NoMitigation)
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            make_mitigation("TRR", 1024)
+
+    def test_invalid_nrh_rejected(self):
+        with pytest.raises(ConfigError):
+            make_mitigation("PARA", 0)
+
+
+class TestNoMitigation:
+    def test_never_acts(self):
+        mech = NoMitigation()
+        for i in range(1000):
+            assert mech.on_activation(0, i % 7, float(i)) == []
+
+
+class TestPARA:
+    def test_probability_scales_inversely_with_nrh(self):
+        assert PARA(32).probability > PARA(1024).probability
+
+    def test_probability_capped_at_one(self):
+        assert PARA(1).probability == 1.0
+
+    def test_trigger_rate_matches_probability(self):
+        mech = PARA(64, seed=5)
+        triggers = sum(bool(mech.on_activation(0, 5, 0.0))
+                       for _ in range(20_000))
+        expected = mech.probability * 20_000
+        assert triggers == pytest.approx(expected, rel=0.15)
+
+    def test_refreshes_one_side(self):
+        mech = PARA(2, seed=1)  # p = 1: always triggers
+        actions = mech.on_activation(0, 100, 0.0)
+        assert len(actions) == 1
+        action = actions[0]
+        assert isinstance(action, PreventiveRefresh)
+        assert action.victim_offsets in ((1, 2), (-1, -2))
+
+    def test_negligible_area(self):
+        assert PARA(32).area_mm2(32) < 0.01
+
+
+class TestRFM:
+    def test_triggers_every_raaimt_acts(self):
+        mech = RFM(64)  # RAAIMT = 8
+        triggers = 0
+        for i in range(80):
+            if mech.on_activation(0, i, 0.0):
+                triggers += 1
+        assert triggers == 80 // mech.raaimt
+
+    def test_bank_counters_independent(self):
+        mech = RFM(64)
+        for i in range(mech.raaimt - 1):
+            assert mech.on_activation(0, i, 0.0) == []
+        assert mech.on_activation(1, 0, 0.0) == []  # other bank unaffected
+
+    def test_emits_rfm_command(self):
+        mech = RFM(8, raaimt=1)
+        actions = mech.on_activation(3, 7, 0.0)
+        assert isinstance(actions[0], RfmCommand)
+        assert actions[0].flat_bank == 3
+        assert not actions[0].is_backoff
+
+    def test_refresh_window_resets(self):
+        mech = RFM(64)
+        for i in range(mech.raaimt - 1):
+            mech.on_activation(0, i, 0.0)
+        mech.on_refresh_window(1e9)
+        assert mech.on_activation(0, 0, 1e9) == []
+
+
+class TestPRAC:
+    def test_has_act_penalty(self):
+        assert PRAC(1024).act_penalty_ns > 0
+
+    def test_backoff_at_threshold(self):
+        mech = PRAC(100)  # threshold = 40
+        actions = []
+        for i in range(mech.threshold):
+            actions = mech.on_activation(0, 55, float(i))
+        assert isinstance(actions[0], RfmCommand)
+        assert actions[0].is_backoff
+
+    def test_per_row_tracking(self):
+        mech = PRAC(100)
+        # Spread across rows: no single row reaches the threshold.
+        for i in range(200):
+            assert mech.on_activation(0, i, 0.0) == []
+
+    def test_counter_resets_after_backoff(self):
+        mech = PRAC(10)  # threshold = 4
+        for i in range(mech.threshold):
+            last = mech.on_activation(0, 5, 0.0)
+        assert last
+        for i in range(mech.threshold - 1):
+            assert mech.on_activation(0, 5, 0.0) == []
+
+    def test_invalid_fraction_rejected(self):
+        with pytest.raises(ConfigError):
+            PRAC(100, backoff_fraction=0.0)
+
+
+class TestHydra:
+    def test_group_tier_absorbs_cold_traffic(self):
+        mech = Hydra(1024)
+        for i in range(mech.group_threshold - 1):
+            assert mech.on_activation(0, i % 8, 0.0) == []
+
+    def test_hot_group_falls_to_row_tracking(self):
+        mech = Hydra(64)
+        actions_seen = []
+        for i in range(200):
+            actions_seen += mech.on_activation(0, 5, 0.0)
+        refreshes = [a for a in actions_seen
+                     if isinstance(a, PreventiveRefresh)]
+        assert refreshes  # the hot row eventually gets refreshed
+
+    def test_rcc_miss_costs_dram_traffic(self):
+        mech = Hydra(64)
+        actions = []
+        for i in range(mech.group_threshold + 1):
+            actions = mech.on_activation(0, 5, 0.0)
+        metadata = [a for a in actions if isinstance(a, MetadataAccess)]
+        assert metadata and metadata[0].reads == 1
+
+    def test_rcc_eviction_writes_back(self):
+        mech = Hydra(64, rcc_entries=2)
+        # Heat one group, then touch more rows than the RCC holds.
+        for _ in range(mech.group_threshold):
+            mech.on_activation(0, 0, 0.0)
+        writes = 0
+        for row in range(1, 8):
+            for _ in range(mech.group_threshold):
+                for action in mech.on_activation(0, row, 0.0):
+                    if isinstance(action, MetadataAccess):
+                        writes += action.writes
+        assert writes > 0
+
+    def test_fixed_sram_area(self):
+        # Hydra's selling point: area independent of N_RH.
+        assert Hydra(32).area_mm2(32) == Hydra(1024).area_mm2(32)
+
+
+class TestGraphene:
+    def test_tracks_hot_row_exactly(self):
+        mech = Graphene(100)  # threshold = 25
+        actions = []
+        for i in range(mech.threshold):
+            actions = mech.on_activation(0, 42, 0.0)
+        assert isinstance(actions[0], PreventiveRefresh)
+        assert actions[0].aggressor_row == 42
+
+    def test_no_false_triggers_below_threshold(self):
+        mech = Graphene(1000)
+        for i in range(2000):
+            assert mech.on_activation(0, i % 500, 0.0) == [], i
+
+    def test_area_grows_as_nrh_shrinks(self):
+        assert Graphene(32).area_mm2(32) > Graphene(1024).area_mm2(32)
+
+    def test_area_matches_paper_at_nrh32(self):
+        # §3: 10.38 mm^2 at N_RH = 32 for a dual-rank 32-bank system.
+        assert Graphene(32).area_mm2(32) == pytest.approx(10.38, rel=0.08)
+
+    def test_misra_gries_guarantee(self):
+        # Any row activated more than the threshold must be caught, no
+        # matter how much other traffic there is.
+        table = _BankTable(capacity=8)
+        # Interleave one hot row with many cold rows.
+        hot_estimate = 0
+        hot_true = 0
+        for i in range(400):
+            table.observe(1000 + i)  # cold stream
+            hot_estimate = table.observe(7)
+            hot_true += 1
+        assert hot_estimate >= hot_true  # overestimate, never underestimate
+
+    def test_blast_rows_constant(self):
+        assert BLAST_ROWS == 4

@@ -1,0 +1,76 @@
+"""Sweep tests: PaCRAM configuration over the full 30-module catalog."""
+
+import pytest
+
+from repro.core.config import PaCRAMConfig
+from repro.core.spd import SpdRecord
+from repro.dram.catalog import (
+    PACRAM_TRAS_FACTORS,
+    all_module_specs,
+)
+from repro.errors import ConfigError
+from repro.units import MS
+
+
+def applicable_cells():
+    """Every (module, factor) with a Table-4 operating point."""
+    for spec in all_module_specs():
+        for factor in PACRAM_TRAS_FACTORS:
+            if spec.pacram[factor] is not None:
+                yield spec, factor
+
+
+class TestCatalogWideConfigs:
+    def test_every_applicable_cell_builds(self):
+        cells = list(applicable_cells())
+        assert len(cells) > 140  # most of the 30 x 6 grid is applicable
+        for spec, factor in cells:
+            config = PaCRAMConfig.from_catalog(spec.module_id, factor)
+            assert config.nrh_reduced > 0
+            assert config.tfcri_ns > 0
+
+    def test_every_na_cell_rejects(self):
+        for spec in all_module_specs():
+            for factor in PACRAM_TRAS_FACTORS:
+                if spec.pacram[factor] is None:
+                    with pytest.raises(ConfigError):
+                        PaCRAMConfig.from_catalog(spec.module_id, factor)
+
+    def test_scaled_nrh_never_exceeds_configured(self):
+        for spec, factor in applicable_cells():
+            config = PaCRAMConfig.from_catalog(spec.module_id, factor)
+            for nrh in (1024, 32):
+                assert 1 <= config.scaled_nrh(nrh) <= nrh
+
+    def test_tfcri_within_printed_tolerance(self):
+        # Formula-vs-printed agreement across the catalog (the two known
+        # outliers are single-digit printed values).
+        mismatches = 0
+        for spec, factor in applicable_cells():
+            config = PaCRAMConfig.from_catalog(spec.module_id, factor)
+            printed = spec.pacram[factor].tfcri_ns
+            if abs(config.tfcri_ns - printed) / printed > 0.10:
+                mismatches += 1
+        assert mismatches <= 2
+
+    def test_npcr_one_cells_have_sub_window_tfcri(self):
+        # N_PCR = 1 cells reset every refresh: t_FCRI of a few hundred us
+        # to a few ms, always far below a second.
+        for spec, factor in applicable_cells():
+            params = spec.pacram[factor]
+            if params.npcr == 1:
+                config = PaCRAMConfig.from_catalog(spec.module_id, factor)
+                assert config.tfcri_ns < 10 * MS
+
+    def test_spd_round_trip_all_modules(self):
+        for spec in all_module_specs():
+            if not spec.vulnerable():
+                continue
+            record = SpdRecord.from_catalog(spec.module_id)
+            assert SpdRecord.decode(record.encode()) == record
+
+    def test_best_observed_factors_applicable_for_references(self):
+        # The §9.2 best-observed operating points must exist in Table 4.
+        for module_id, factor in (("H5", 0.36), ("M2", 0.18), ("S6", 0.45)):
+            config = PaCRAMConfig.from_catalog(module_id, factor)
+            assert config.tras_factor == factor

@@ -1,0 +1,130 @@
+"""Tests for PaCRAM configuration and the t_FCRI formula (§8.3)."""
+
+import pytest
+
+from repro.characterization.results import ModuleCharacterization, RowMeasurement
+from repro.core.config import PaCRAMConfig, full_charge_restoration_interval_ns
+from repro.dram.timing import ddr4_timing
+from repro.errors import ConfigError
+from repro.units import MS, S, US
+
+
+class TestTfcriFormula:
+    def test_paper_worked_example_s6(self):
+        # §8.3: S6 at 0.36 tRAS (N_RH 3.9K, N_PCR 2K) -> ~374 ms.
+        tfcri = full_charge_restoration_interval_ns(3_900, 12.0, 2_000)
+        assert tfcri == pytest.approx(374 * MS, rel=0.01)
+
+    def test_paper_worked_example_h5(self):
+        # Table 4: H5 at 0.27 tRAS (9.4K, 300) -> 135 ms.
+        tfcri = full_charge_restoration_interval_ns(9_400, 9.0, 300)
+        assert tfcri == pytest.approx(135 * MS, rel=0.01)
+
+    def test_single_restoration_cell(self):
+        # Table 4: S2 at 0.27 tRAS (19.9K, N_PCR 1) -> 955 us.
+        tfcri = full_charge_restoration_interval_ns(19_900, 9.0, 1)
+        assert tfcri == pytest.approx(955 * US, rel=0.01)
+
+    def test_linear_in_npcr(self):
+        one = full_charge_restoration_interval_ns(5_000, 12.0, 1)
+        thousand = full_charge_restoration_interval_ns(5_000, 12.0, 1_000)
+        assert thousand == pytest.approx(1_000 * one)
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ConfigError):
+            full_charge_restoration_interval_ns(0, 12.0, 100)
+        with pytest.raises(ConfigError):
+            full_charge_restoration_interval_ns(100, -1.0, 100)
+        with pytest.raises(ConfigError):
+            full_charge_restoration_interval_ns(100, 12.0, 0)
+
+
+class TestFromCatalog:
+    def test_h5_at_best_factor(self):
+        config = PaCRAMConfig.from_catalog("H5", 0.36)
+        assert config.nrh_reduced == 10_200
+        assert config.npcr == 15_000
+        assert config.nrh_reduction_ratio == pytest.approx(1.0)
+
+    def test_h5_at_027_scales_nrh(self):
+        # §9.1: H5 at 0.27 -> 8 % reduction -> 1024 becomes 942-ish.
+        config = PaCRAMConfig.from_catalog("H5", 0.27)
+        assert config.scaled_nrh(1024) == pytest.approx(942, abs=3)
+        assert config.scaled_nrh(32) == pytest.approx(29, abs=1)
+
+    def test_na_cell_rejected(self):
+        with pytest.raises(ConfigError, match="not applicable"):
+            PaCRAMConfig.from_catalog("S6", 0.18)
+
+    def test_invulnerable_module_rejected(self):
+        with pytest.raises(ConfigError):
+            PaCRAMConfig.from_catalog("H0", 0.36)
+
+    def test_untested_factor_rejected(self):
+        with pytest.raises(ConfigError):
+            PaCRAMConfig.from_catalog("H5", 0.5)
+
+    def test_footnote6_long_tfcri(self):
+        # H5 at 0.36: t_FCRI 7.3 s >> tREFW, so all refreshes are partial.
+        config = PaCRAMConfig.from_catalog("H5", 0.36)
+        assert config.all_refreshes_partial(64 * MS)
+
+    def test_footnote6_short_tfcri(self):
+        # H5 at 0.27: t_FCRI 135 ms > 64 ms tREFW -> still all partial on
+        # DDR4, but NOT with a 374 ms window.
+        config = PaCRAMConfig.from_catalog("H5", 0.27)
+        assert config.all_refreshes_partial(64 * MS)
+        assert not config.all_refreshes_partial(1 * S)
+
+    def test_ratio_never_scales_up(self):
+        # Some Table-4 cells exceed nominal (measurement drift); PaCRAM must
+        # never configure a *larger* threshold than requested.
+        config = PaCRAMConfig.from_catalog("M2", 0.36)
+        assert config.scaled_nrh(1024) <= 1024
+
+
+class TestFromCharacterization:
+    def _characterization(self) -> ModuleCharacterization:
+        result = ModuleCharacterization("S6", seed=1)
+        for factor, nrh in ((1.0, 8_000), (0.36, 6_400)):
+            result.add(RowMeasurement(
+                bank=0, row=10, tras_factor=factor, n_pr=1,
+                temperature_c=80.0, wcdp="RS", nrh=nrh, ber=0.01))
+        return result
+
+    def test_builds_from_own_measurements(self):
+        config = PaCRAMConfig.from_characterization(
+            self._characterization(), 0.36, npcr=2_000)
+        assert config.nrh_reduction_ratio == pytest.approx(0.8)
+        expected = full_charge_restoration_interval_ns(
+            6_400, 0.36 * ddr4_timing().tRAS, 2_000)
+        assert config.tfcri_ns == pytest.approx(expected)
+
+    def test_missing_baseline_rejected(self):
+        result = ModuleCharacterization("S6", seed=1)
+        result.add(RowMeasurement(
+            bank=0, row=10, tras_factor=0.36, n_pr=1,
+            temperature_c=80.0, wcdp="RS", nrh=6_400, ber=0.01))
+        with pytest.raises(ConfigError):
+            PaCRAMConfig.from_characterization(result, 0.36, npcr=100)
+
+    def test_retention_failing_point_rejected(self):
+        result = self._characterization()
+        result.add(RowMeasurement(
+            bank=0, row=11, tras_factor=0.18, n_pr=1,
+            temperature_c=80.0, wcdp="RS", nrh=0, ber=0.5))
+        with pytest.raises(ConfigError):
+            PaCRAMConfig.from_characterization(result, 0.18, npcr=100)
+
+
+class TestValidation:
+    def test_scaled_nrh_rejects_nonpositive(self):
+        config = PaCRAMConfig.from_catalog("H5", 0.36)
+        with pytest.raises(ConfigError):
+            config.scaled_nrh(0)
+
+    def test_constructor_validation(self):
+        with pytest.raises(ConfigError):
+            PaCRAMConfig("X", 1.5, 1.0, 100, 10, 1e6)
+        with pytest.raises(ConfigError):
+            PaCRAMConfig("X", 0.36, 1.0, 100, 0, 1e6)

@@ -1,0 +1,100 @@
+"""Tests for the Appendix-B periodic extension, area model, and §10 costs."""
+
+import pytest
+
+from repro.core.area import (
+    MEMORY_CONTROLLER_MM2,
+    XEON_DIE_MM2,
+    access_latency_hidden,
+    fr_access_latency_ns,
+    fr_area_fraction_of_controller,
+    fr_area_fraction_of_xeon,
+    fr_area_mm2,
+    fr_storage_bytes,
+)
+from repro.core.periodic import PeriodicPaCRAM
+from repro.core.profiling import profiling_cost
+from repro.errors import ConfigError
+from repro.sim.config import SystemConfig
+
+
+class TestPeriodicPaCRAM:
+    def test_reduced_scale_most_windows(self):
+        config = SystemConfig(num_cores=1)
+        policy = PeriodicPaCRAM(config, latency_factor_rfc=0.36, npcr=10)
+        scale = policy.periodic_refresh_scale()
+        assert scale == pytest.approx(0.36)
+
+    def test_nominal_window_every_npcr(self):
+        config = SystemConfig(num_cores=1)
+        policy = PeriodicPaCRAM(config, latency_factor_rfc=0.36, npcr=2)
+        per_window = round(config.timing.tREFW / config.timing.tREFI)
+        scales = [policy.periodic_refresh_scale()
+                  for _ in range(per_window * 4)]
+        assert 1.0 in scales  # a full-restoration window occurs
+        assert scales.count(1.0) >= per_window - 1
+
+    def test_preventive_refreshes_stay_nominal(self):
+        config = SystemConfig(num_cores=1)
+        policy = PeriodicPaCRAM(config, latency_factor_rfc=0.36)
+        tras, full = policy.preventive_tras_ns(0, 5, 0.0)
+        assert full and tras == config.timing.tRAS
+
+    def test_invalid_params_rejected(self):
+        config = SystemConfig(num_cores=1)
+        with pytest.raises(ConfigError):
+            PeriodicPaCRAM(config, latency_factor_rfc=0.0)
+        with pytest.raises(ConfigError):
+            PeriodicPaCRAM(config, latency_factor_rfc=0.5, npcr=0)
+
+
+class TestAreaModel:
+    def test_8kb_per_bank(self):
+        # §8.4: one bit per row -> 8 KB per 64K-row bank.
+        assert fr_storage_bytes(65_536) == 8192
+
+    def test_bank_area_matches_cacti(self):
+        assert fr_area_mm2(1) == pytest.approx(0.0069, rel=0.01)
+
+    def test_system_area_fraction_of_xeon(self):
+        # §8.4: dual-rank x 16 banks -> 0.09 % of a high-end Xeon.
+        assert fr_area_fraction_of_xeon(32) == pytest.approx(0.0009, rel=0.05)
+
+    def test_fraction_of_memory_controller(self):
+        # §8.4: 1.35 % of the memory-controller area.
+        assert fr_area_fraction_of_controller(32) == pytest.approx(
+            0.0135, rel=0.05)
+
+    def test_access_latency_hidden_by_activation(self):
+        assert fr_access_latency_ns() == pytest.approx(0.27)
+        assert access_latency_hidden()
+
+    def test_scales_with_rows(self):
+        assert fr_area_mm2(1, 131_072) == pytest.approx(2 * 0.0069, rel=0.01)
+
+    def test_reference_areas_positive(self):
+        assert XEON_DIE_MM2 > MEMORY_CONTROLLER_MM2 > 0
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ConfigError):
+            fr_storage_bytes(0)
+        with pytest.raises(ConfigError):
+            fr_area_mm2(0)
+
+
+class TestProfilingCost:
+    def test_paper_numbers(self):
+        cost = profiling_cost()
+        assert cost.batch_seconds == pytest.approx(80.0)
+        assert cost.throughput_bytes_per_s == pytest.approx(127 * 1024, rel=0.01)
+        assert cost.bank_minutes == pytest.approx(68.8, abs=0.1)
+        assert cost.blocked_bytes == pytest.approx(9.9 * 2**20, rel=0.01)
+
+    def test_scales_with_matrix(self):
+        half = profiling_cost(iterations=1)
+        assert half.batch_seconds == pytest.approx(16.0)
+        assert half.bank_minutes < profiling_cost().bank_minutes
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ConfigError):
+            profiling_cost(tras_values=0)

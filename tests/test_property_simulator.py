@@ -1,0 +1,107 @@
+"""Property-based tests on simulator invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mitigations import make_mitigation
+from repro.sim.addrmap import AddressMapper
+from repro.sim.config import SystemConfig
+from repro.sim.controller import MemoryController
+from repro.sim.request import Request, RequestType
+from repro.sim.system import MemorySystem
+from repro.workloads.trace import Trace
+
+CONFIG = SystemConfig(num_cores=1)
+MAPPER = AddressMapper(CONFIG)
+
+
+@st.composite
+def request_batches(draw):
+    """A batch of requests with random addresses, arrivals, and types."""
+    count = draw(st.integers(min_value=1, max_value=40))
+    requests = []
+    clock = 0.0
+    for i in range(count):
+        clock += draw(st.floats(min_value=0.0, max_value=50.0))
+        line = draw(st.integers(min_value=0, max_value=1 << 20))
+        is_write = draw(st.booleans())
+        requests.append(Request(
+            core=0, address=line,
+            type=RequestType.WRITE if is_write else RequestType.READ,
+            arrival_ns=clock, decoded=MAPPER.decode(line), position=i))
+    return requests
+
+
+def drain(controller: MemoryController, requests) -> list:
+    for request in requests:
+        controller.enqueue(request)
+    serviced = []
+    while controller.pending_requests():
+        request = controller.service_one()
+        if request is None:
+            next_arrival = controller.next_arrival_ns()
+            assert next_arrival is not None
+            controller.advance_to(next_arrival)
+            continue
+        serviced.append(request)
+    return serviced
+
+
+@given(request_batches())
+@settings(max_examples=40, deadline=None)
+def test_controller_services_everything_once(requests):
+    controller = MemoryController(SystemConfig(num_cores=1))
+    serviced = drain(controller, list(requests))
+    assert len(serviced) == len(requests)
+    assert {id(r) for r in serviced} == {id(r) for r in requests}
+
+
+@given(request_batches())
+@settings(max_examples=40, deadline=None)
+def test_completion_after_arrival_plus_cas(requests):
+    config = SystemConfig(num_cores=1)
+    controller = MemoryController(config)
+    floor = MemoryController.FORWARD_LATENCY_NS
+    for request in drain(controller, list(requests)):
+        assert request.completion_ns >= request.arrival_ns + floor
+
+
+@given(request_batches())
+@settings(max_examples=40, deadline=None)
+def test_stats_account_every_request(requests):
+    controller = MemoryController(SystemConfig(num_cores=1))
+    drain(controller, list(requests))
+    stats = controller.stats
+    assert stats.reads + stats.writes == len(requests)
+    assert (stats.row_hits + stats.row_misses
+            + stats.forwarded_reads) == len(requests)
+    assert stats.activations == stats.row_misses
+
+
+@given(request_batches())
+@settings(max_examples=25, deadline=None)
+def test_mitigated_controller_still_services_everything(requests):
+    controller = MemoryController(SystemConfig(num_cores=1),
+                                  mitigation=make_mitigation("RFM", 16))
+    serviced = drain(controller, list(requests))
+    assert len(serviced) == len(requests)
+
+
+@given(st.integers(min_value=1, max_value=60),
+       st.integers(min_value=0, max_value=30),
+       st.integers(min_value=0, max_value=2**31))
+@settings(max_examples=30, deadline=None)
+def test_system_conserves_instructions(n_requests, mean_bubbles, seed):
+    rng = np.random.default_rng(seed)
+    trace = Trace(
+        name="prop",
+        bubbles=rng.integers(0, mean_bubbles + 1, size=n_requests),
+        is_write=rng.random(n_requests) < 0.3,
+        addresses=rng.integers(0, 1 << 16, size=n_requests),
+    )
+    result = MemorySystem(SystemConfig(num_cores=1), [trace]).run()
+    assert result.total_instructions == trace.instructions
+    assert result.controller_stats.reads == int((~trace.is_write).sum())
+    assert result.controller_stats.writes == int(trace.is_write.sum())
+    assert 0 < result.mean_ipc <= 4.0

@@ -1,0 +1,52 @@
+"""Tests for bank-group-aware CAS timing (tCCD_S / tCCD_L)."""
+
+import pytest
+
+from repro.dram.timing import TimingParams, ddr5_timing
+from repro.errors import ConfigError
+from repro.sim.bankmodel import ChannelTimeline
+
+
+class TestTimingParams:
+    def test_tccd_l_defaults_to_twice_short(self):
+        timing = ddr5_timing()
+        assert timing.tCCD_L == pytest.approx(2.0 * timing.tCCD)
+
+    def test_explicit_tccd_l_kept(self):
+        timing = TimingParams(
+            standard="X", tRAS=32, tRP=14, tRCD=14, tCL=14, tWR=15,
+            tRFC=195, tREFI=3900, tREFW=32e6, tBL=2.66, tCCD=2.5,
+            tRRD=2.5, tFAW=10, tCCD_L=7.5)
+        assert timing.tCCD_L == 7.5
+
+    def test_tccd_l_shorter_than_short_rejected(self):
+        with pytest.raises(ConfigError):
+            TimingParams(
+                standard="X", tRAS=32, tRP=14, tRCD=14, tCL=14, tWR=15,
+                tRFC=195, tREFI=3900, tREFW=32e6, tBL=2.66, tCCD=2.5,
+                tRRD=2.5, tFAW=10, tCCD_L=1.0)
+
+
+class TestCasConstraint:
+    def test_same_group_uses_long_spacing(self):
+        channel = ChannelTimeline()
+        first = channel.cas_constraint(100.0, bank_group=3,
+                                       tccd_s_ns=2.5, tccd_l_ns=5.0)
+        second = channel.cas_constraint(100.0, bank_group=3,
+                                        tccd_s_ns=2.5, tccd_l_ns=5.0)
+        assert first == 100.0
+        assert second == pytest.approx(105.0)
+
+    def test_different_group_uses_short_spacing(self):
+        channel = ChannelTimeline()
+        channel.cas_constraint(100.0, bank_group=3,
+                               tccd_s_ns=2.5, tccd_l_ns=5.0)
+        second = channel.cas_constraint(100.0, bank_group=4,
+                                        tccd_s_ns=2.5, tccd_l_ns=5.0)
+        assert second == pytest.approx(102.5)
+
+    def test_no_constraint_when_idle(self):
+        channel = ChannelTimeline()
+        channel.cas_constraint(100.0, 0, 2.5, 5.0)
+        late = channel.cas_constraint(500.0, 0, 2.5, 5.0)
+        assert late == 500.0

@@ -1,0 +1,116 @@
+"""Tests for bank timelines and the energy model."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.bankmodel import BankTimeline, ChannelTimeline, RankTimeline
+from repro.sim.energy import EnergyModel
+
+
+class TestBankTimeline:
+    def test_occupy_advances_ready(self):
+        bank = BankTimeline()
+        end = bank.occupy(10.0, 48.0)
+        assert end == 58.0
+        assert bank.ready_ns == 58.0
+
+    def test_occupy_while_busy_rejected(self):
+        bank = BankTimeline()
+        bank.occupy(0.0, 100.0)
+        with pytest.raises(SimulationError):
+            bank.occupy(50.0, 10.0)
+
+    def test_preventive_busy_accounted(self):
+        bank = BankTimeline()
+        bank.occupy(0.0, 190.0, preventive=True)
+        assert bank.preventive_busy_ns == 190.0
+        assert bank.refresh_busy_ns == 0.0
+
+    def test_refresh_busy_accounted(self):
+        bank = BankTimeline()
+        bank.occupy(0.0, 350.0, refresh=True)
+        assert bank.refresh_busy_ns == 350.0
+
+    def test_block_until_monotone(self):
+        bank = BankTimeline()
+        bank.block_until(100.0)
+        bank.block_until(50.0)
+        assert bank.ready_ns == 100.0
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(SimulationError):
+            BankTimeline().occupy(0.0, -1.0)
+
+
+class TestRankTimeline:
+    def test_faw_allows_four_acts(self):
+        rank = RankTimeline()
+        for t in (0.0, 5.0, 10.0, 15.0):
+            assert rank.faw_constraint(t, 20.0) <= t
+            rank.record_act(t)
+
+    def test_fifth_act_delayed(self):
+        rank = RankTimeline()
+        for t in (0.0, 2.0, 4.0, 6.0):
+            rank.record_act(t)
+        # The fifth ACT within the window must wait until t0 + tFAW.
+        assert rank.faw_constraint(8.0, 20.0) == pytest.approx(20.0)
+
+    def test_old_acts_expire(self):
+        rank = RankTimeline()
+        for t in (0.0, 2.0, 4.0, 6.0):
+            rank.record_act(t)
+        assert rank.faw_constraint(100.0, 20.0) == 100.0
+
+
+class TestChannelTimeline:
+    def test_bus_serializes(self):
+        channel = ChannelTimeline()
+        first = channel.reserve_bus(10.0, 3.0)
+        second = channel.reserve_bus(10.0, 3.0)
+        assert first == 13.0
+        assert second == 16.0
+
+    def test_idle_bus_starts_immediately(self):
+        channel = ChannelTimeline()
+        assert channel.reserve_bus(100.0, 3.0) == 103.0
+
+
+class TestEnergyModel:
+    def test_act_energy_scales_with_tras(self):
+        energy = EnergyModel()
+        assert energy.act_energy(32.0) > energy.act_energy(12.0)
+
+    def test_partial_restoration_saves_energy(self):
+        full = EnergyModel()
+        full.add_preventive_refresh(4, 32.0)
+        partial = EnergyModel()
+        partial.add_preventive_refresh(4, 32.0 * 0.36)
+        assert partial.preventive_refresh_nj < full.preventive_refresh_nj
+
+    def test_total_sums_components(self):
+        energy = EnergyModel()
+        energy.add_activation(32.0)
+        energy.add_read()
+        energy.add_write()
+        energy.add_periodic_refresh(8, 32.0)
+        energy.add_metadata_access(2, 1)
+        energy.finalize_background(1000.0)
+        expected = (energy.activation_nj + energy.read_nj + energy.write_nj
+                    + energy.periodic_refresh_nj
+                    + energy.preventive_refresh_nj + energy.metadata_nj
+                    + energy.background_nj)
+        assert energy.total_nj == pytest.approx(expected)
+
+    def test_background_scales_with_time(self):
+        energy = EnergyModel(ranks=2)
+        energy.finalize_background(1e6)
+        once = energy.background_nj
+        energy.finalize_background(2e6)
+        assert energy.background_nj == pytest.approx(2 * once)
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(SimulationError):
+            EnergyModel().act_energy(0.0)
+        with pytest.raises(SimulationError):
+            EnergyModel().finalize_background(-1.0)

@@ -1,0 +1,233 @@
+"""Tests for the FR-FCFS memory controller."""
+
+import pytest
+
+from repro.mitigations.base import (
+    MetadataAccess,
+    MitigationMechanism,
+    PreventiveRefresh,
+    RfmCommand,
+)
+from repro.sim.addrmap import AddressMapper
+from repro.sim.config import SystemConfig
+from repro.sim.controller import MemoryController, RefreshLatencyPolicy
+from repro.sim.request import Request, RequestType
+
+
+def make_request(mapper, line, *, core=0, arrival=0.0, write=False,
+                 position=0) -> Request:
+    decoded = mapper.decode(line)
+    return Request(core=core, address=line,
+                   type=RequestType.WRITE if write else RequestType.READ,
+                   arrival_ns=arrival, decoded=decoded, position=position)
+
+
+@pytest.fixture()
+def config() -> SystemConfig:
+    return SystemConfig(num_cores=1)
+
+
+@pytest.fixture()
+def mapper(config) -> AddressMapper:
+    return AddressMapper(config)
+
+
+class TestScheduling:
+    def test_services_arrived_request(self, config, mapper):
+        controller = MemoryController(config)
+        controller.enqueue(make_request(mapper, 100, arrival=0.0))
+        request = controller.service_one()
+        assert request is not None
+        assert request.completion_ns > 0
+
+    def test_future_request_not_serviced(self, config, mapper):
+        controller = MemoryController(config)
+        controller.enqueue(make_request(mapper, 100, arrival=1e6))
+        assert controller.service_one() is None
+        assert controller.next_arrival_ns() == 1e6
+
+    def test_row_hit_faster_than_miss(self, config, mapper):
+        controller = MemoryController(config)
+        controller.enqueue(make_request(mapper, 0, arrival=0.0))
+        first = controller.service_one()
+        controller.enqueue(make_request(mapper, 1, arrival=0.0))  # same row
+        hit = controller.service_one()
+        assert controller.stats.row_hits == 1
+        # The hit completes shortly after the miss: no ACT is needed.
+        assert (hit.completion_ns - first.completion_ns) < \
+            (first.completion_ns - first.arrival_ns)
+
+    def test_frfcfs_prefers_row_hit(self, config, mapper):
+        controller = MemoryController(config)
+        controller.enqueue(make_request(mapper, 0, arrival=0.0))
+        controller.service_one()  # opens row of line 0
+        older_miss = make_request(mapper, 1 << 16, arrival=1.0)
+        newer_hit = make_request(mapper, 1, arrival=2.0)
+        controller.enqueue(older_miss)
+        controller.enqueue(newer_hit)
+        controller.advance_to(5.0)
+        served = controller.service_one()
+        assert served is newer_hit  # hit-first despite being younger
+
+    def test_writes_buffered_until_watermark(self, config, mapper):
+        controller = MemoryController(config)
+        # One write + one read, both arrived: read wins (no drain mode).
+        write = make_request(mapper, 500, write=True)
+        read = make_request(mapper, 900)
+        controller.enqueue(write)
+        controller.enqueue(read)
+        assert controller.service_one() is read
+
+    def test_write_drain_when_only_writes(self, config, mapper):
+        controller = MemoryController(config)
+        write = make_request(mapper, 500, write=True)
+        controller.enqueue(write)
+        assert controller.service_one() is write
+
+    def test_completion_monotone_on_same_bank(self, config, mapper):
+        controller = MemoryController(config)
+        completions = []
+        for i in range(8):
+            controller.enqueue(make_request(mapper, i * (1 << 16)))
+        for _ in range(8):
+            request = controller.service_one()
+            completions.append(request.completion_ns)
+        assert all(a < b for a, b in zip(completions, completions[1:]))
+
+
+class TestWriteForwarding:
+    def test_read_after_write_forwards(self, config, mapper):
+        controller = MemoryController(config)
+        write = make_request(mapper, 700, write=True, arrival=0.0)
+        read = make_request(mapper, 700, arrival=5.0)
+        controller.enqueue(write)
+        controller.enqueue(read)
+        controller.advance_to(5.0)
+        served = controller.service_one()
+        assert served is read
+        assert controller.stats.forwarded_reads == 1
+        assert served.completion_ns == pytest.approx(
+            5.0 + MemoryController.FORWARD_LATENCY_NS)
+
+    def test_read_before_write_not_forwarded(self, config, mapper):
+        controller = MemoryController(config)
+        read = make_request(mapper, 700, arrival=0.0)
+        write = make_request(mapper, 700, write=True, arrival=5.0)
+        controller.enqueue(read)
+        controller.enqueue(write)
+        controller.service_one()
+        assert controller.stats.forwarded_reads == 0
+
+    def test_different_address_not_forwarded(self, config, mapper):
+        controller = MemoryController(config)
+        controller.enqueue(make_request(mapper, 700, write=True))
+        controller.enqueue(make_request(mapper, 701))
+        controller.advance_to(1.0)
+        controller.service_one()
+        assert controller.stats.forwarded_reads == 0
+
+
+class TestPeriodicRefresh:
+    def test_refreshes_applied_over_time(self, config, mapper):
+        controller = MemoryController(config)
+        controller.advance_to(100_000.0)  # > tREFI = 3.9 us
+        controller.enqueue(make_request(mapper, 0, arrival=100_000.0))
+        controller.service_one()
+        assert controller.stats.periodic_refreshes >= 2 * 25  # 2 ranks
+
+    def test_refresh_blocks_bank(self, config, mapper):
+        controller = MemoryController(config)
+        request = make_request(mapper, 0, arrival=config.timing.tREFI)
+        controller.advance_to(config.timing.tREFI)
+        controller.enqueue(request)
+        controller.service_one()
+        # Completion must be after refresh end (tREFI + tRFC).
+        assert request.completion_ns > config.timing.tREFI + config.timing.tRFC
+
+
+class _OneShot(MitigationMechanism):
+    """Emits a fixed action list on the first activation."""
+
+    name = "OneShot"
+
+    def __init__(self, actions):
+        super().__init__(nrh=100)
+        self._actions = list(actions)
+
+    def on_activation(self, flat_bank, row, now_ns):
+        actions, self._actions = self._actions, []
+        return actions
+
+
+class TestMitigationActions:
+    def test_preventive_refresh_blocks_and_counts(self, config, mapper):
+        mech = _OneShot([PreventiveRefresh(0, 100)])
+        controller = MemoryController(config, mitigation=mech)
+        controller.enqueue(make_request(mapper, 0))
+        controller.service_one()
+        assert controller.stats.preventive_refresh_rows == 4
+        assert controller.banks[0].preventive_busy_ns > 0
+
+    def test_preventive_refresh_edge_rows_clipped(self, config, mapper):
+        mech = _OneShot([PreventiveRefresh(0, 0)])
+        controller = MemoryController(config, mitigation=mech)
+        controller.enqueue(make_request(mapper, 0))
+        controller.service_one()
+        assert controller.stats.preventive_refresh_rows == 2  # only +1, +2
+
+    def test_rfm_counts(self, config, mapper):
+        mech = _OneShot([RfmCommand(0, is_backoff=True)])
+        controller = MemoryController(config, mitigation=mech)
+        controller.enqueue(make_request(mapper, 0))
+        controller.service_one()
+        assert controller.stats.rfm_commands == 1
+        assert controller.stats.backoff_events == 1
+
+    def test_metadata_access_counts(self, config, mapper):
+        mech = _OneShot([MetadataAccess(0, reads=2, writes=1)])
+        controller = MemoryController(config, mitigation=mech)
+        controller.enqueue(make_request(mapper, 0))
+        controller.service_one()
+        assert controller.stats.metadata_reads == 2
+        assert controller.stats.metadata_writes == 1
+
+    def test_policy_reduced_latency_recorded(self, config, mapper):
+        class Reduced(RefreshLatencyPolicy):
+            def preventive_tras_ns(self, flat_bank, row, now_ns):
+                return self.config.timing.tRAS * 0.36, False
+
+        mech = _OneShot([PreventiveRefresh(0, 100)])
+        controller = MemoryController(config, mitigation=mech,
+                                      policy=Reduced(config))
+        controller.enqueue(make_request(mapper, 0))
+        controller.service_one()
+        assert controller.stats.preventive_refresh_partial == 4
+        assert controller.stats.preventive_refresh_full == 0
+
+    def test_reduced_latency_blocks_bank_less(self, config, mapper):
+        def busy_with(policy):
+            mech = _OneShot([PreventiveRefresh(0, 100)])
+            controller = MemoryController(config, mitigation=mech,
+                                          policy=policy)
+            controller.enqueue(make_request(mapper, 0))
+            controller.service_one()
+            return controller.banks[0].preventive_busy_ns
+
+        class Reduced(RefreshLatencyPolicy):
+            def preventive_tras_ns(self, flat_bank, row, now_ns):
+                return self.config.timing.tRAS * 0.36, False
+
+        assert busy_with(Reduced(config)) < busy_with(None)
+
+
+class TestBusyFraction:
+    def test_zero_without_mitigation(self, config, mapper):
+        controller = MemoryController(config)
+        controller.enqueue(make_request(mapper, 0))
+        controller.service_one()
+        assert controller.preventive_busy_fraction(1e6) == 0.0
+
+    def test_invalid_elapsed_rejected(self, config):
+        controller = MemoryController(config)
+        with pytest.raises(Exception):
+            controller.preventive_busy_fraction(0.0)

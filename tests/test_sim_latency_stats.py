@@ -1,0 +1,50 @@
+"""Tests for read-latency statistics and their response to interference."""
+
+import pytest
+
+from repro.mitigations import make_mitigation
+from repro.sim.config import SystemConfig
+from repro.sim.stats import LatencySummary
+from repro.sim.system import MemorySystem
+
+
+class TestLatencySummary:
+    def test_empty(self):
+        summary = LatencySummary.from_values([])
+        assert summary.count == 0
+        assert summary.mean_ns == 0.0
+
+    def test_basic_quantiles(self):
+        values = [float(v) for v in range(1, 101)]
+        summary = LatencySummary.from_values(values)
+        assert summary.count == 100
+        assert summary.mean_ns == pytest.approx(50.5)
+        assert summary.p50_ns == 51.0
+        assert summary.p99_ns == 100.0
+        assert summary.max_ns == 100.0
+
+    def test_single_value(self):
+        summary = LatencySummary.from_values([42.0])
+        assert summary.p50_ns == summary.p99_ns == summary.max_ns == 42.0
+
+    def test_ordering_invariant(self):
+        summary = LatencySummary.from_values([5.0, 1.0, 9.0, 3.0])
+        assert summary.p50_ns <= summary.p99_ns <= summary.max_ns
+
+
+class TestSimulationLatency:
+    def test_counts_match_reads(self, single_core_config, small_trace):
+        result = MemorySystem(single_core_config, [small_trace]).run()
+        assert result.read_latency.count == result.controller_stats.reads
+
+    def test_latency_at_least_cas(self, single_core_config, small_trace):
+        result = MemorySystem(single_core_config, [small_trace]).run()
+        timing = single_core_config.timing
+        assert result.read_latency.p50_ns >= timing.tCL
+
+    def test_mitigation_interference_raises_tail_latency(
+            self, single_core_config, hot_trace):
+        clean = MemorySystem(single_core_config, [hot_trace]).run()
+        noisy = MemorySystem(single_core_config, [hot_trace],
+                             mitigation=make_mitigation("RFM", 32)).run()
+        assert noisy.read_latency.mean_ns > clean.read_latency.mean_ns
