@@ -1,0 +1,58 @@
+"""Parallel scaling of the fault-tolerant sweep engine (ISSUE 1 tentpole).
+
+Runs the same evaluation grid at jobs = 1, 2, 4 and records wall-clock
+speedup into ``bench_results/parallel_scaling.txt``.  The speedup you see
+depends on the machine (on a single-core container the parallel runs only
+pay process overhead); what is asserted is the engine's contract — row
+files are bit-identical across all job counts.
+"""
+
+import os
+import time
+from pathlib import Path
+from tempfile import TemporaryDirectory
+
+from bench_util import run_once, save_result
+
+from repro.analysis.sweeprunner import SweepGrid, SweepRunner
+
+_JOBS = (1, 2, 4)
+
+
+def _scaling_grid() -> SweepGrid:
+    return SweepGrid(mitigations=("PARA", "RFM", "Graphene", "Hydra"),
+                     nrh_values=(1024, 64), pacram_vendors=(None, "H"),
+                     workload_sets=(("spec06.mcf",),), requests=800)
+
+
+def _run_all_job_counts() -> dict[int, tuple[float, dict[str, bytes]]]:
+    grid = _scaling_grid()
+    timings: dict[int, tuple[float, dict[str, bytes]]] = {}
+    with TemporaryDirectory() as tmp:
+        for jobs in _JOBS:
+            results_dir = Path(tmp) / f"jobs{jobs}"
+            runner = SweepRunner(results_dir, grid)
+            started = time.perf_counter()
+            runner.run(jobs=jobs)
+            elapsed = time.perf_counter() - started
+            rows = {p.name: p.read_bytes()
+                    for p in sorted(results_dir.glob("*.json"))}
+            timings[jobs] = (elapsed, rows)
+    return timings
+
+
+def bench_parallel_scaling(benchmark):
+    timings = run_once(benchmark, _run_all_job_counts)
+    serial_elapsed, serial_rows = timings[1]
+    points = len(_scaling_grid().points())
+    lines = [f"grid: {points} points, cores on this machine: "
+             f"{os.cpu_count()}"]
+    for jobs in _JOBS:
+        elapsed, rows = timings[jobs]
+        speedup = serial_elapsed / elapsed if elapsed > 0 else float("inf")
+        lines.append(f"jobs={jobs}: {elapsed:.2f}s  "
+                     f"speedup over jobs=1: {speedup:.2f}x")
+        # The contract that matters everywhere: parallel output is
+        # bit-identical to the serial run.
+        assert rows == serial_rows
+    save_result("parallel_scaling", "\n".join(lines))

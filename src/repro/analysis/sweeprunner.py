@@ -9,17 +9,34 @@ grid, run it (resumable, persisted as JSON rows), and aggregate.
 The grid knobs mirror the artifact's customization interface (A.6):
 ``mitigations`` (MITIGATION_LIST), ``nrh_values`` (NRH_VALUES), and the
 PaCRAM latency factors per vendor (latency_factor_vrr).
+
+Execution goes through :class:`repro.runtime.TaskPool`: grid points run as
+independent worker tasks (``jobs=N`` fans them across processes, ``jobs=1``
+runs the same code serially), rows are persisted atomically, corrupt rows
+found on resume are quarantined and re-run, and failing points are retried
+and ledgered instead of aborting the sweep.  Each point seeds its own
+simulation, so parallel results are bit-identical to serial ones.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
+import re
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
 
 from repro.analysis.runner import pacram_reference_config, run_simulation
 from repro.errors import ConfigError, SimulationError
+from repro.runtime import LEDGER_NAME, ProgressReporter, Task, TaskPool
+from repro.runtime.persist import write_atomic
 from repro.sim.config import SystemConfig
+
+
+def _sanitize(component: str) -> str:
+    """Make one key component filesystem-safe (no separators/metachars)."""
+    cleaned = re.sub(r"[^A-Za-z0-9.-]+", "-", component)
+    return cleaned.strip("-") or "x"
 
 
 @dataclass(frozen=True)
@@ -33,9 +50,21 @@ class SweepPoint:
 
     @property
     def key(self) -> str:
-        vendor = self.pacram_vendor or "none"
-        return f"{self.mitigation}_nrh{self.nrh}_{vendor}_" + "+".join(
-            self.workloads)
+        """Stable, filesystem-safe identity of this point.
+
+        Components are sanitized (a vendor or workload containing ``_``,
+        ``+``, or path separators must not corrupt the row path), and a
+        short hash of the *raw* fields keeps sanitized collisions apart —
+        including ``pacram_vendor=None`` vs. a literal ``"none"`` vendor.
+        """
+        raw = json.dumps([self.mitigation, self.nrh, self.pacram_vendor,
+                          list(self.workloads)])
+        digest = hashlib.sha256(raw.encode()).hexdigest()[:8]
+        vendor = ("none" if self.pacram_vendor is None
+                  else _sanitize(self.pacram_vendor))
+        workloads = "+".join(_sanitize(w) for w in self.workloads)[:80]
+        return (f"{_sanitize(self.mitigation)}_nrh{self.nrh}_{vendor}_"
+                f"{workloads}_{digest}")
 
 
 @dataclass(frozen=True)
@@ -57,6 +86,19 @@ class SweepRow:
         raw = dict(raw)
         raw["workloads"] = tuple(raw["workloads"])
         return cls(**raw)
+
+
+def load_row(path: str | Path) -> SweepRow:
+    """Parse and validate one persisted row.
+
+    Truncated or schema-invalid files raise
+    :class:`~repro.errors.SimulationError` so the engine can quarantine
+    and re-run the point instead of crashing the resume.
+    """
+    try:
+        return SweepRow.from_dict(json.loads(Path(path).read_text()))
+    except (ValueError, KeyError, TypeError) as error:
+        raise SimulationError(f"invalid sweep row at {path}: {error}") from error
 
 
 @dataclass
@@ -82,6 +124,27 @@ class SweepGrid:
         return out
 
 
+def _simulate_to(point: SweepPoint, requests: int, path: str) -> None:
+    """Worker task: run one grid point, persist its row atomically.
+
+    Module-level so it pickles across the process-pool boundary.
+    """
+    pacram = (pacram_reference_config(point.pacram_vendor)
+              if point.pacram_vendor else None)
+    config = SystemConfig(num_cores=max(1, len(point.workloads)))
+    result = run_simulation(
+        point.workloads, mitigation=point.mitigation, nrh=point.nrh,
+        pacram=pacram, requests=requests, config=config)
+    row = SweepRow(
+        key=point.key, mitigation=point.mitigation, nrh=point.nrh,
+        pacram_vendor=point.pacram_vendor, workloads=point.workloads,
+        mean_ipc=result.mean_ipc, energy_nj=result.energy_nj,
+        preventive_busy_fraction=result.preventive_busy_fraction,
+        preventive_refresh_rows=(
+            result.controller_stats.preventive_refresh_rows))
+    write_atomic(path, json.dumps(asdict(row), indent=1))
+
+
 class SweepRunner:
     """Runs a grid resumably, persisting one JSON row per point."""
 
@@ -93,43 +156,55 @@ class SweepRunner:
     def row_path(self, point: SweepPoint) -> Path:
         return self.results_dir / f"{point.key}.json"
 
+    def ledger_path(self) -> Path:
+        """Where the engine records failed attempts for this sweep."""
+        return self.results_dir / LEDGER_NAME
+
     def status(self) -> tuple[int, int]:
         """(completed, total) — the check_run_status.py analogue."""
         points = self.grid.points()
         done = sum(1 for p in points if self.row_path(p).exists())
         return done, len(points)
 
+    def _pool(self, jobs: int | None,
+              progress: ProgressReporter | None) -> TaskPool:
+        return TaskPool(jobs=jobs, ledger_path=self.ledger_path(),
+                        progress=progress)
+
+    def _task(self, point: SweepPoint) -> Task:
+        path = self.row_path(point)
+        return Task(key=point.key, path=path, fn=_simulate_to,
+                    args=(point, self.grid.requests, str(path)))
+
     # ------------------------------------------------------------------
     def run_point(self, point: SweepPoint, *, force: bool = False) -> SweepRow:
-        path = self.row_path(point)
-        if path.exists() and not force:
-            return SweepRow.from_dict(json.loads(path.read_text()))
-        pacram = (pacram_reference_config(point.pacram_vendor)
-                  if point.pacram_vendor else None)
-        config = SystemConfig(num_cores=max(1, len(point.workloads)))
-        result = run_simulation(
-            point.workloads, mitigation=point.mitigation, nrh=point.nrh,
-            pacram=pacram, requests=self.grid.requests, config=config)
-        row = SweepRow(
-            key=point.key, mitigation=point.mitigation, nrh=point.nrh,
-            pacram_vendor=point.pacram_vendor, workloads=point.workloads,
-            mean_ipc=result.mean_ipc, energy_nj=result.energy_nj,
-            preventive_busy_fraction=result.preventive_busy_fraction,
-            preventive_refresh_rows=(
-                result.controller_stats.preventive_refresh_rows))
-        self.results_dir.mkdir(parents=True, exist_ok=True)
-        path.write_text(json.dumps(asdict(row), indent=1))
-        return row
+        pool = self._pool(jobs=1, progress=None)
+        results = pool.run([self._task(point)], loader=load_row, force=force)
+        return results[point.key]
 
-    def run(self, *, force: bool = False) -> list[SweepRow]:
-        return [self.run_point(p, force=force) for p in self.grid.points()]
+    def run(self, *, force: bool = False, jobs: int | None = 1,
+            progress: ProgressReporter | None = None) -> list[SweepRow]:
+        """Run (or resume) the whole grid; returns rows in grid order.
+
+        ``jobs`` controls the worker-process count (``None`` = all cores);
+        valid on-disk rows are reused, corrupt ones quarantined and re-run.
+        Row contents are identical for any ``jobs``.
+        """
+        points = self.grid.points()
+        pool = self._pool(jobs=jobs, progress=progress)
+        results = pool.run([self._task(p) for p in points],
+                           loader=load_row, force=force)
+        return [results[p.key] for p in points]
 
     # ------------------------------------------------------------------
     def aggregate(self, rows: list[SweepRow] | None = None,
                   ) -> dict[tuple[str, str], dict[int, float]]:
         """Normalized IPC vs N_RH per (mitigation, config) — Fig. 17's
         parse_ram_results step.  Normalization is against the same
-        mitigation's no-PaCRAM row at the same N_RH."""
+        mitigation's no-PaCRAM row at the same N_RH; PaCRAM rows whose grid
+        legitimately omits that baseline (no ``None`` in
+        ``pacram_vendors``) are skipped rather than a hard error after the
+        whole sweep already ran."""
         if rows is None:
             rows = self.run()
         baselines: dict[tuple[str, int, tuple[str, ...]], float] = {}
@@ -141,9 +216,11 @@ class SweepRunner:
             if row.pacram_vendor is None:
                 continue
             base = baselines.get((row.mitigation, row.nrh, row.workloads))
-            if base is None or base <= 0:
+            if base is None:
+                continue  # grid ran without a no-PaCRAM baseline series
+            if base <= 0:
                 raise SimulationError(
-                    f"missing no-PaCRAM baseline for {row.key}")
+                    f"non-positive no-PaCRAM baseline for {row.key}")
             label = f"PaCRAM-{row.pacram_vendor}"
             series = out.setdefault((row.mitigation, label), {})
             series[row.nrh] = row.mean_ipc / base

@@ -5,6 +5,14 @@ and plot them (``plot_db_figures.sh``).  This module is that workflow for
 the simulated platform: run a multi-module campaign once, persist every
 module's measurements as JSON under a results directory, and reload them
 for analysis without re-running.
+
+Execution and persistence go through :class:`repro.runtime.TaskPool`:
+modules run as independent worker tasks (``jobs=N`` in parallel; ``jobs=1``
+is the same code run serially), results are written atomically, corrupt
+files found on resume are quarantined and re-run, and transient failures
+are retried and ledgered instead of killing the campaign.  Because each
+module's measurements derive only from the campaign seed, parallel runs
+are bit-identical to serial ones.
 """
 
 from __future__ import annotations
@@ -17,6 +25,7 @@ from repro.characterization.sweeps import characterize_module
 from repro.dram.catalog import all_module_ids
 from repro.dram.timing import TESTED_TRAS_FACTORS
 from repro.errors import CharacterizationError
+from repro.runtime import LEDGER_NAME, ProgressReporter, Task, TaskPool
 
 
 @dataclass
@@ -37,6 +46,20 @@ class CampaignConfig:
             raise CharacterizationError("per_region must be positive")
 
 
+def _characterize_to(module_id: str, config: CampaignConfig,
+                     path: str) -> None:
+    """Worker task: characterize one module, persist it atomically.
+
+    Module-level so it pickles across the process-pool boundary; the result
+    travels back through the filesystem, not the pipe.
+    """
+    result = characterize_module(
+        module_id, tras_factors=config.tras_factors,
+        n_prs=config.n_prs, temperatures_c=config.temperatures_c,
+        per_region=config.per_region, seed=config.seed)
+    result.save(path)
+
+
 class CharacterizationCampaign:
     """Runs, persists, and reloads multi-module characterization results."""
 
@@ -55,6 +78,20 @@ class CharacterizationCampaign:
     def pending_modules(self) -> tuple[str, ...]:
         return tuple(m for m in self.config.module_ids if not self.is_done(m))
 
+    def ledger_path(self) -> Path:
+        """Where the engine records failed attempts for this campaign."""
+        return self.results_dir / LEDGER_NAME
+
+    def _pool(self, jobs: int | None,
+              progress: ProgressReporter | None) -> TaskPool:
+        return TaskPool(jobs=jobs, ledger_path=self.ledger_path(),
+                        progress=progress)
+
+    def _task(self, module_id: str) -> Task:
+        path = self.result_path(module_id)
+        return Task(key=module_id, path=path, fn=_characterize_to,
+                    args=(module_id, self.config, str(path)))
+
     # ------------------------------------------------------------------
     def run_module(self, module_id: str, *,
                    force: bool = False) -> ModuleCharacterization:
@@ -62,22 +99,25 @@ class CharacterizationCampaign:
         if module_id not in self.config.module_ids:
             raise CharacterizationError(
                 f"{module_id} is not part of this campaign")
-        path = self.result_path(module_id)
-        if path.exists() and not force:
-            return ModuleCharacterization.load(path)
-        config = self.config
-        result = characterize_module(
-            module_id, tras_factors=config.tras_factors,
-            n_prs=config.n_prs, temperatures_c=config.temperatures_c,
-            per_region=config.per_region, seed=config.seed)
-        self.results_dir.mkdir(parents=True, exist_ok=True)
-        result.save(path)
-        return result
+        pool = self._pool(jobs=1, progress=None)
+        results = pool.run([self._task(module_id)],
+                           loader=ModuleCharacterization.load, force=force)
+        return results[module_id]
 
-    def run(self, *, force: bool = False) -> dict[str, ModuleCharacterization]:
-        """Run (or resume) the whole campaign; returns all results."""
-        return {module_id: self.run_module(module_id, force=force)
-                for module_id in self.config.module_ids}
+    def run(self, *, force: bool = False, jobs: int | None = 1,
+            progress: ProgressReporter | None = None,
+            ) -> dict[str, ModuleCharacterization]:
+        """Run (or resume) the whole campaign; returns all results.
+
+        ``jobs`` controls the worker-process count (``None`` = all cores);
+        valid on-disk results are reused, corrupt ones quarantined and
+        re-run.  The returned measurements are identical for any ``jobs``.
+        """
+        pool = self._pool(jobs=jobs, progress=progress)
+        tasks = [self._task(module_id)
+                 for module_id in self.config.module_ids]
+        return pool.run(tasks, loader=ModuleCharacterization.load,
+                        force=force)
 
     def load(self) -> dict[str, ModuleCharacterization]:
         """Load a completed campaign's results without running anything."""

@@ -7,6 +7,7 @@ from dataclasses import asdict, dataclass, field
 from pathlib import Path
 
 from repro.errors import CharacterizationError
+from repro.runtime.persist import write_atomic
 
 
 @dataclass(frozen=True)
@@ -129,14 +130,29 @@ class ModuleCharacterization:
 
     @classmethod
     def from_json(cls, text: str) -> "ModuleCharacterization":
-        payload = json.loads(text)
-        result = cls(module_id=payload["module_id"], seed=payload["seed"])
-        for raw in payload["measurements"]:
-            result.add(RowMeasurement(**raw))
+        """Parse and validate a persisted characterization.
+
+        Truncated or schema-invalid payloads (e.g. a file cut short by a
+        crash mid-write before saves were atomic) raise
+        :class:`~repro.errors.CharacterizationError` so callers can
+        quarantine and re-run instead of dying on a raw ``KeyError`` /
+        ``JSONDecodeError``.
+        """
+        try:
+            payload = json.loads(text)
+            result = cls(module_id=payload["module_id"], seed=payload["seed"])
+            for raw in payload["measurements"]:
+                result.add(RowMeasurement(**raw))
+        except (ValueError, KeyError, TypeError) as error:
+            raise CharacterizationError(
+                f"invalid characterization payload: {error}") from error
+        if not isinstance(result.module_id, str):
+            raise CharacterizationError(
+                f"invalid module_id: {result.module_id!r}")
         return result
 
     def save(self, path: str | Path) -> None:
-        Path(path).write_text(self.to_json())
+        write_atomic(path, self.to_json())
 
     @classmethod
     def load(cls, path: str | Path) -> "ModuleCharacterization":

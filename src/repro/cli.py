@@ -24,6 +24,7 @@ from repro.characterization.campaign import (
 from repro.dram.catalog import all_module_specs, module_spec
 from repro.dram.timing import TESTED_TRAS_FACTORS
 from repro.errors import ReproError
+from repro.runtime import PrintProgress
 from repro.sim.configloader import EvaluationConfig
 
 
@@ -87,9 +88,7 @@ def cmd_campaign(args: argparse.Namespace) -> int:
     if args.status:
         print(campaign.summary())
         return 0
-    for module_id in campaign.config.module_ids:
-        campaign.run_module(module_id)
-        print(f"done {module_id}")
+    campaign.run(jobs=args.jobs, progress=PrintProgress())
     print(campaign.summary())
     return 0
 
@@ -107,7 +106,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         done, total = runner.status()
         print(f"{done}/{total} runs done")
         return 0
-    rows = runner.run()
+    rows = runner.run(jobs=args.jobs, progress=PrintProgress())
     for (mitigation, label), series in runner.aggregate(rows).items():
         values = " ".join(f"nrh={n}:{v:.4f}" for n, v in sorted(series.items()))
         print(f"{mitigation:<9} {label:<9} {values}")
@@ -142,6 +141,9 @@ def build_parser() -> argparse.ArgumentParser:
                                  help="comma-separated module ids (default: all 30)")
     campaign_parser.add_argument("--rows", type=int, default=64,
                                  help="rows per bank region")
+    campaign_parser.add_argument("--jobs", type=int, default=None,
+                                 help="parallel worker processes "
+                                      "(default: all cores)")
     campaign_parser.add_argument("--status", action="store_true",
                                  help="only report progress")
     campaign_parser.set_defaults(func=cmd_campaign)
@@ -159,6 +161,9 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_parser.add_argument("--config",
                               help="JSON evaluation-config file (overrides "
                                    "the other grid flags; see A.6)")
+    sweep_parser.add_argument("--jobs", type=int, default=None,
+                              help="parallel worker processes "
+                                   "(default: all cores)")
     sweep_parser.add_argument("--status", action="store_true",
                               help="only report progress")
     sweep_parser.set_defaults(func=cmd_sweep)

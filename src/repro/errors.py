@@ -36,5 +36,14 @@ class SimulationError(ReproError):
     """The memory-system simulator reached an inconsistent state."""
 
 
+class ExecutionError(ReproError):
+    """A campaign or sweep finished with permanently failed points.
+
+    Raised by the parallel execution engine after every point has been
+    attempted; the per-point error ledger (``errors.jsonl``) holds the
+    details of each failed attempt.
+    """
+
+
 class UnknownModuleError(ReproError):
     """A module id was requested that is not in the tested-module catalog."""

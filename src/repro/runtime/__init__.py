@@ -1,0 +1,31 @@
+"""Shared fault-tolerant parallel execution engine (the artifact's
+``run_ramulator_all.sh`` + ``check_run_status.py`` workflow, in-process).
+
+Both :class:`~repro.characterization.campaign.CharacterizationCampaign` and
+:class:`~repro.analysis.sweeprunner.SweepRunner` route all execution and
+persistence through :class:`TaskPool`: atomic result writes, corrupt-result
+quarantine on resume, bounded retry with an error ledger, and a
+progress/ETA reporter.  ``jobs=1`` runs the identical code path serially.
+"""
+
+from repro.runtime.engine import LEDGER_NAME, PoolReport, Task, TaskPool
+from repro.runtime.persist import (
+    CORRUPT_SUFFIX,
+    discard_stale_tmp,
+    quarantine,
+    write_atomic,
+)
+from repro.runtime.progress import PrintProgress, ProgressReporter
+
+__all__ = [
+    "CORRUPT_SUFFIX",
+    "LEDGER_NAME",
+    "PoolReport",
+    "PrintProgress",
+    "ProgressReporter",
+    "Task",
+    "TaskPool",
+    "discard_stale_tmp",
+    "quarantine",
+    "write_atomic",
+]

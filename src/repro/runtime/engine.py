@@ -1,0 +1,229 @@
+"""Fault-tolerant parallel task pool shared by campaigns and sweeps.
+
+The artifact's ``run_ramulator_all.sh`` fans a grid of independent runs out
+across many cores and resumes any that are missing; characterizing 30
+modules is embarrassingly parallel by construction.  :class:`TaskPool` is
+that engine for the in-process reproduction:
+
+* each grid point is an independent :class:`Task` whose worker computes the
+  result and persists it **atomically** to ``task.path``;
+* on resume, existing result files are validated by the caller's loader —
+  unparseable or schema-invalid files are quarantined (``*.corrupt``) and
+  re-run instead of crashing the campaign;
+* transient worker failures are retried with exponential backoff, and every
+  failed attempt is appended to a per-run error ledger (``errors.jsonl``)
+  so one bad point cannot kill a 600-point sweep;
+* ``jobs=1`` runs the very same submission/retry/load code path inline
+  (no subprocesses), so serial and parallel runs are the same engine.
+
+Workers must be module-level callables with picklable arguments (they cross
+a ``ProcessPoolExecutor`` boundary when ``jobs > 1``), and results flow back
+through the filesystem, not the pipe: the parent re-loads ``task.path``
+after the worker finishes, so what a run returns is exactly what a resumed
+run would reload.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    Future,
+    ProcessPoolExecutor,
+    wait,
+)
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable
+
+from repro.errors import ConfigError, ExecutionError
+from repro.runtime.persist import discard_stale_tmp, quarantine
+from repro.runtime.progress import ProgressReporter
+
+__all__ = ["Task", "TaskPool", "LEDGER_NAME"]
+
+#: File name of the per-run error ledger, kept next to the results.
+LEDGER_NAME = "errors.jsonl"
+
+
+@dataclass(frozen=True)
+class Task:
+    """One independent grid point.
+
+    ``fn(*args)`` must compute the point and persist it atomically to
+    ``path`` (see :func:`repro.runtime.persist.write_atomic`); its return
+    value is ignored — the pool re-loads ``path`` instead.
+    """
+
+    key: str
+    path: Path
+    fn: Callable[..., Any]
+    args: tuple = ()
+
+
+class _InlineExecutor:
+    """``jobs=1`` executor: runs each submission immediately, in-process.
+
+    Implements just enough of the ``Executor`` protocol for the pool's
+    submit/wait/retry loop, so the serial path exercises the exact same
+    engine code as the parallel one.
+    """
+
+    def submit(self, fn: Callable[..., Any], *args: Any) -> Future:
+        future: Future = Future()
+        try:
+            future.set_result(fn(*args))
+        except BaseException as error:  # noqa: BLE001 — mirrored to future
+            future.set_exception(error)
+        return future
+
+    def __enter__(self) -> "_InlineExecutor":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        return None
+
+
+@dataclass
+class PoolReport:
+    """What happened during one :meth:`TaskPool.run` call."""
+
+    reused: list[str] = field(default_factory=list)
+    computed: list[str] = field(default_factory=list)
+    quarantined: list[str] = field(default_factory=list)
+    retried: list[str] = field(default_factory=list)
+    failed: dict[str, str] = field(default_factory=dict)
+
+
+class TaskPool:
+    """Resumable, retrying executor for a list of independent tasks."""
+
+    def __init__(self, *, jobs: int | None = None, max_attempts: int = 3,
+                 backoff_s: float = 0.1,
+                 ledger_path: str | Path | None = None,
+                 progress: ProgressReporter | None = None,
+                 sleep: Callable[[float], None] = time.sleep) -> None:
+        import os
+        if jobs is None:
+            jobs = os.cpu_count() or 1
+        if jobs < 1:
+            raise ConfigError(f"jobs must be >= 1, got {jobs}")
+        if max_attempts < 1:
+            raise ConfigError(f"max_attempts must be >= 1, got {max_attempts}")
+        self.jobs = jobs
+        self.max_attempts = max_attempts
+        self.backoff_s = backoff_s
+        self.ledger_path = Path(ledger_path) if ledger_path else None
+        self.progress = progress or ProgressReporter()
+        self.sleep = sleep
+        self.last_report: PoolReport | None = None
+
+    # ------------------------------------------------------------------
+    def run(self, tasks: list[Task], loader: Callable[[Path], Any], *,
+            force: bool = False) -> dict[str, Any]:
+        """Run (or resume) ``tasks``; returns ``{key: loaded result}``.
+
+        Existing result files are validated through ``loader`` and reused;
+        corrupt ones are quarantined and re-run.  Raises
+        :class:`~repro.errors.ExecutionError` after all points have been
+        attempted if any failed permanently — everything else is persisted,
+        so a follow-up run only re-attempts the failures.
+        """
+        keys = [task.key for task in tasks]
+        if len(set(keys)) != len(keys):
+            raise ConfigError("task keys must be unique within one run")
+        report = PoolReport()
+        self.last_report = report
+        results: dict[str, Any] = {}
+        pending: list[Task] = []
+        for task in tasks:
+            if force or not task.path.exists():
+                pending.append(task)
+                continue
+            try:
+                results[task.key] = loader(task.path)
+                report.reused.append(task.key)
+            except Exception as error:  # corrupt / schema-invalid result
+                moved = quarantine(task.path)
+                report.quarantined.append(task.key)
+                self._record(task.key, 0, f"{error}",
+                             action="quarantine", moved_to=str(moved))
+                pending.append(task)
+        self.progress.start(len(tasks), reused=len(report.reused))
+        if pending:
+            for directory in {task.path.parent for task in pending}:
+                discard_stale_tmp(directory)
+            self._execute(pending, loader, results, report)
+        self.progress.finish()
+        if report.failed:
+            ledger = f" (ledger: {self.ledger_path})" if self.ledger_path else ""
+            raise ExecutionError(
+                f"{len(report.failed)}/{len(tasks)} points failed permanently "
+                f"after {self.max_attempts} attempts: "
+                f"{', '.join(sorted(report.failed))}{ledger}")
+        return {key: results[key] for key in keys}
+
+    # ------------------------------------------------------------------
+    def _execute(self, pending: list[Task], loader: Callable[[Path], Any],
+                 results: dict[str, Any], report: PoolReport) -> None:
+        workers = min(self.jobs, len(pending))
+        executor = (ProcessPoolExecutor(max_workers=workers)
+                    if workers > 1 else _InlineExecutor())
+        attempts = {task.key: 0 for task in pending}
+        with executor as pool:
+            futures: dict[Future, Task] = {}
+            for task in pending:
+                attempts[task.key] += 1
+                futures[pool.submit(task.fn, *task.args)] = task
+            while futures:
+                done, _ = wait(futures, return_when=FIRST_COMPLETED)
+                for future in done:
+                    task = futures.pop(future)
+                    error = future.exception()
+                    if error is None:
+                        try:
+                            loaded = loader(task.path)
+                        except Exception as load_error:
+                            if task.path.exists():
+                                quarantine(task.path)
+                            error = load_error
+                        else:
+                            results[task.key] = loaded
+                            report.computed.append(task.key)
+                            self.progress.task_done(task.key)
+                            continue
+                    attempt = attempts[task.key]
+                    self._record(task.key, attempt, f"{error}",
+                                 action="attempt")
+                    if attempt < self.max_attempts:
+                        report.retried.append(task.key)
+                        self.progress.task_retry(task.key, attempt, f"{error}")
+                        self.sleep(self.backoff_s * (2 ** (attempt - 1)))
+                        attempts[task.key] += 1
+                        try:
+                            futures[pool.submit(task.fn, *task.args)] = task
+                        except RuntimeError as submit_error:
+                            # Executor broken (e.g. a worker was SIGKILLed
+                            # taking the pool down); give up on this task
+                            # but keep draining the rest.
+                            self._fail(task, f"{submit_error}", report)
+                    else:
+                        self._fail(task, f"{error}", report)
+
+    def _fail(self, task: Task, error: str, report: PoolReport) -> None:
+        report.failed[task.key] = error
+        self._record(task.key, self.max_attempts, error, action="abandoned")
+        self.progress.task_failed(task.key, error)
+
+    # ------------------------------------------------------------------
+    def _record(self, key: str, attempt: int, error: str, *,
+                action: str, **extra: str) -> None:
+        """Append one event to the error ledger (if one is configured)."""
+        if self.ledger_path is None:
+            return
+        record = {"key": key, "action": action, "attempt": attempt,
+                  "error": error, "time": time.time(), **extra}
+        self.ledger_path.parent.mkdir(parents=True, exist_ok=True)
+        with self.ledger_path.open("a") as ledger:
+            ledger.write(json.dumps(record) + "\n")

@@ -1,0 +1,107 @@
+"""Progress and ETA reporting for campaigns and sweeps.
+
+The paper's artifact tracks its Ramulator grid with ``check_run_status.py``;
+this is that tracker for the in-process execution engine.  The engine calls
+the reporter as tasks are reused, finished, retried, or abandoned, and the
+:class:`PrintProgress` implementation renders completion, elapsed time, and
+an ETA extrapolated from the observed per-task rate.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import TextIO
+
+__all__ = ["ProgressReporter", "PrintProgress"]
+
+
+class ProgressReporter:
+    """No-op base reporter; library calls are silent unless one is passed."""
+
+    def start(self, total: int, reused: int = 0) -> None:
+        """A run begins: ``total`` tasks, ``reused`` already loaded from disk."""
+
+    def task_done(self, key: str) -> None:
+        """One task computed and persisted successfully."""
+
+    def task_retry(self, key: str, attempt: int, error: str) -> None:
+        """One attempt failed; the task will be retried."""
+
+    def task_failed(self, key: str, error: str) -> None:
+        """A task exhausted its attempts and was abandoned."""
+
+    def finish(self) -> None:
+        """The run is over (successfully or not)."""
+
+
+class PrintProgress(ProgressReporter):
+    """Prints one status line per event, with elapsed time and ETA."""
+
+    def __init__(self, stream: TextIO | None = None,
+                 clock=time.monotonic) -> None:
+        self.stream = stream if stream is not None else sys.stdout
+        self.clock = clock
+        self.total = 0
+        self.reused = 0
+        self.done = 0
+        self.failed = 0
+        self.started_at = 0.0
+
+    # ------------------------------------------------------------------
+    def start(self, total: int, reused: int = 0) -> None:
+        self.total = total
+        self.reused = reused
+        self.done = 0
+        self.failed = 0
+        self.started_at = self.clock()
+        pending = total - reused
+        if reused:
+            self._emit(f"{total} tasks: {reused} reused from disk, "
+                       f"{pending} to run")
+        else:
+            self._emit(f"{total} tasks to run")
+
+    def task_done(self, key: str) -> None:
+        self.done += 1
+        self._emit(f"[{self._finished}/{self.total}] done {key}"
+                   f" ({self._timing()})")
+
+    def task_retry(self, key: str, attempt: int, error: str) -> None:
+        self._emit(f"[{self._finished}/{self.total}] retry {key} "
+                   f"(attempt {attempt} failed: {error})")
+
+    def task_failed(self, key: str, error: str) -> None:
+        self.failed += 1
+        self._emit(f"[{self._finished}/{self.total}] FAILED {key}: {error}")
+
+    def finish(self) -> None:
+        elapsed = self.clock() - self.started_at
+        line = (f"{self._finished}/{self.total} tasks finished "
+                f"in {elapsed:.1f}s")
+        if self.failed:
+            line += f" ({self.failed} failed)"
+        self._emit(line)
+
+    # ------------------------------------------------------------------
+    @property
+    def _finished(self) -> int:
+        return self.reused + self.done + self.failed
+
+    def _timing(self) -> str:
+        elapsed = self.clock() - self.started_at
+        remaining = self.total - self._finished
+        if self.done and remaining > 0:
+            eta = elapsed / self.done * remaining
+            return f"elapsed {elapsed:.1f}s, eta {eta:.1f}s"
+        return f"elapsed {elapsed:.1f}s"
+
+    def _emit(self, line: str) -> None:
+        if self.stream is None:
+            return
+        try:
+            print(line, file=self.stream, flush=True)
+        except (BrokenPipeError, ValueError):
+            # stdout was closed under us (e.g. piped into `head`); keep the
+            # run alive and stop reporting rather than abort the campaign.
+            self.stream = None

@@ -101,4 +101,26 @@ class TestSweepRunner:
 
     def test_sweep_point_key_format(self):
         point = SweepPoint("PARA", 64, None, ("x", "y"))
-        assert point.key == "PARA_nrh64_none_x+y"
+        prefix, digest = point.key.rsplit("_", 1)
+        assert prefix == "PARA_nrh64_none_x+y"
+        assert len(digest) == 8
+        int(digest, 16)  # hash suffix is hex
+
+    def test_sweep_point_key_sanitized(self):
+        # Vendors/workloads with separators must not corrupt row paths.
+        point = SweepPoint("PA_RA", 64, "H+/..", ("a/b", "c_d"))
+        stem = point.key.rsplit("_", 1)[0]
+        assert "/" not in point.key and "+" not in stem.split("_", 3)[2]
+        assert set(point.key) <= set(
+            "abcdefghijklmnopqrstuvwxyz"
+            "ABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789._+-")
+
+    def test_sweep_point_keys_distinguish_sanitized_collisions(self):
+        # The hash suffix keeps raw points apart even when the readable
+        # prefixes collide after sanitization.
+        none_vendor = SweepPoint("PARA", 64, None, ("w",))
+        literal_none = SweepPoint("PARA", 64, "none", ("w",))
+        assert none_vendor.key != literal_none.key
+        joined = SweepPoint("PARA", 64, "H", ("a_b",))
+        split = SweepPoint("PARA", 64, "H", ("a", "b"))
+        assert joined.key != split.key

@@ -1,0 +1,226 @@
+"""Tests for the fault-tolerant parallel execution engine."""
+
+import json
+from pathlib import Path
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError, ExecutionError
+from repro.runtime import (
+    CORRUPT_SUFFIX,
+    ProgressReporter,
+    Task,
+    TaskPool,
+    discard_stale_tmp,
+    quarantine,
+    write_atomic,
+)
+
+
+# ----------------------------------------------------------------------
+# Worker functions must be module-level so they pickle across processes.
+# ----------------------------------------------------------------------
+def _write_square(n: int, path: str) -> None:
+    write_atomic(path, json.dumps({"n": n, "square": n * n}))
+
+
+def _load_square(path: Path) -> int:
+    return json.loads(Path(path).read_text())["square"]
+
+
+def _flaky_square(counter_path: str, fail_times: int, n: int,
+                  path: str) -> None:
+    """Fails the first ``fail_times`` invocations, then succeeds."""
+    counter = Path(counter_path)
+    calls = int(counter.read_text()) if counter.exists() else 0
+    counter.write_text(str(calls + 1))
+    if calls < fail_times:
+        raise RuntimeError(f"transient failure #{calls}")
+    _write_square(n, path)
+
+
+def _always_fail(path: str) -> None:
+    raise RuntimeError("permanent failure")
+
+
+def _square_task(tmp_path: Path, n: int) -> Task:
+    path = tmp_path / f"sq{n}.json"
+    return Task(key=f"sq{n}", path=path, fn=_write_square,
+                args=(n, str(path)))
+
+
+class TestPersist:
+    def test_write_atomic_roundtrip(self, tmp_path):
+        path = tmp_path / "deep" / "result.json"
+        write_atomic(path, "payload")
+        assert path.read_text() == "payload"
+        assert list(path.parent.glob("*.tmp")) == []
+
+    def test_write_atomic_overwrites(self, tmp_path):
+        path = tmp_path / "r.json"
+        write_atomic(path, "old")
+        write_atomic(path, "new")
+        assert path.read_text() == "new"
+
+    def test_quarantine_unique_names(self, tmp_path):
+        path = tmp_path / "r.json"
+        moved = []
+        for generation in range(3):
+            path.write_text(f"garbage {generation}")
+            moved.append(quarantine(path))
+        assert not path.exists()
+        assert len({m.name for m in moved}) == 3
+        assert all(CORRUPT_SUFFIX in m.name for m in moved)
+        assert moved[0].read_text() == "garbage 0"
+
+    def test_discard_stale_tmp(self, tmp_path):
+        (tmp_path / "a.json.123.tmp").write_text("x")
+        (tmp_path / "b.json").write_text("keep")
+        assert discard_stale_tmp(tmp_path) == 1
+        assert (tmp_path / "b.json").exists()
+        assert discard_stale_tmp(tmp_path / "missing") == 0
+
+
+class TestTaskPool:
+    def test_runs_and_returns_in_task_order(self, tmp_path):
+        tasks = [_square_task(tmp_path, n) for n in (3, 1, 2)]
+        results = TaskPool(jobs=1).run(tasks, loader=_load_square)
+        assert list(results) == ["sq3", "sq1", "sq2"]
+        assert results["sq3"] == 9
+
+    def test_resume_reuses_valid_results(self, tmp_path):
+        task = _square_task(tmp_path, 4)
+        pool = TaskPool(jobs=1)
+        pool.run([task], loader=_load_square)
+        stamp = task.path.stat().st_mtime_ns
+        again = pool.run([task], loader=_load_square)
+        assert again["sq4"] == 16
+        assert task.path.stat().st_mtime_ns == stamp  # not recomputed
+        assert pool.last_report.reused == ["sq4"]
+
+    def test_force_recomputes(self, tmp_path):
+        task = _square_task(tmp_path, 4)
+        pool = TaskPool(jobs=1)
+        pool.run([task], loader=_load_square)
+        pool.run([task], loader=_load_square, force=True)
+        assert pool.last_report.computed == ["sq4"]
+
+    def test_corrupt_result_quarantined_and_rerun(self, tmp_path):
+        task = _square_task(tmp_path, 5)
+        task.path.write_text('{"n": 5, "squ')  # truncated mid-write
+        pool = TaskPool(jobs=1, ledger_path=tmp_path / "errors.jsonl")
+        results = pool.run([task], loader=_load_square)
+        assert results["sq5"] == 25
+        assert json.loads(task.path.read_text())["square"] == 25
+        corrupt = list(tmp_path.glob(f"*{CORRUPT_SUFFIX}*"))
+        assert len(corrupt) == 1
+        assert pool.last_report.quarantined == ["sq5"]
+        ledger = [json.loads(line) for line in
+                  (tmp_path / "errors.jsonl").read_text().splitlines()]
+        assert ledger[0]["action"] == "quarantine"
+
+    def test_transient_failure_retried_with_backoff(self, tmp_path):
+        path = tmp_path / "r.json"
+        task = Task(key="flaky", path=path, fn=_flaky_square,
+                    args=(str(tmp_path / "calls"), 2, 6, str(path)))
+        sleeps = []
+        pool = TaskPool(jobs=1, max_attempts=3, backoff_s=0.5,
+                        ledger_path=tmp_path / "errors.jsonl",
+                        sleep=sleeps.append)
+        results = pool.run([task], loader=_load_square)
+        assert results["flaky"] == 36
+        assert sleeps == [0.5, 1.0]  # exponential backoff
+        ledger = [json.loads(line) for line in
+                  (tmp_path / "errors.jsonl").read_text().splitlines()]
+        assert [r["attempt"] for r in ledger] == [1, 2]
+        assert all(r["action"] == "attempt" for r in ledger)
+
+    def test_permanent_failure_does_not_kill_other_points(self, tmp_path):
+        bad_path = tmp_path / "bad.json"
+        tasks = [_square_task(tmp_path, 7),
+                 Task(key="bad", path=bad_path, fn=_always_fail,
+                      args=(str(bad_path),)),
+                 _square_task(tmp_path, 8)]
+        pool = TaskPool(jobs=1, max_attempts=2, backoff_s=0, sleep=lambda s: None,
+                        ledger_path=tmp_path / "errors.jsonl")
+        with pytest.raises(ExecutionError, match="1/3 points failed"):
+            pool.run(tasks, loader=_load_square)
+        # The good points were still computed and persisted...
+        assert _load_square(tmp_path / "sq7.json") == 49
+        assert _load_square(tmp_path / "sq8.json") == 64
+        # ...and the ledger has the full failure history.
+        ledger = [json.loads(line) for line in
+                  (tmp_path / "errors.jsonl").read_text().splitlines()]
+        assert [r["action"] for r in ledger] == \
+            ["attempt", "attempt", "abandoned"]
+        # A follow-up run reuses the good rows and only re-attempts "bad".
+        with pytest.raises(ExecutionError):
+            pool.run(tasks, loader=_load_square)
+        assert pool.last_report.reused == ["sq7", "sq8"]
+
+    def test_parallel_jobs_use_processes(self, tmp_path):
+        tasks = [_square_task(tmp_path, n) for n in range(6)]
+        results = TaskPool(jobs=2).run(tasks, loader=_load_square)
+        assert [results[f"sq{n}"] for n in range(6)] == \
+            [n * n for n in range(6)]
+
+    def test_progress_failure_does_not_quarantine_good_results(self, tmp_path):
+        # A progress reporter blowing up (e.g. BrokenPipeError when stdout
+        # is piped into `head`) must not be misattributed as a result-load
+        # failure: the computed row stays on disk, un-quarantined.
+        class ExplodingProgress(ProgressReporter):
+            def task_done(self, key):
+                raise BrokenPipeError("stdout closed")
+
+        task = _square_task(tmp_path, 9)
+        with pytest.raises(BrokenPipeError):
+            TaskPool(jobs=1, progress=ExplodingProgress()).run(
+                [task], loader=_load_square)
+        assert task.path.exists()
+        assert list(tmp_path.glob(f"*{CORRUPT_SUFFIX}*")) == []
+        results = TaskPool(jobs=1).run([task], loader=_load_square)
+        assert results["sq9"] == 81
+
+    def test_print_progress_survives_closed_stream(self, tmp_path):
+        import io
+
+        class ClosedStream(io.StringIO):
+            def write(self, text):
+                raise BrokenPipeError("closed")
+
+        from repro.runtime import PrintProgress
+        progress = PrintProgress(stream=ClosedStream())
+        task = _square_task(tmp_path, 10)
+        results = TaskPool(jobs=1, progress=progress).run(
+            [task], loader=_load_square)
+        assert results["sq10"] == 100  # run completed despite dead stdout
+
+    def test_duplicate_keys_rejected(self, tmp_path):
+        task = _square_task(tmp_path, 1)
+        with pytest.raises(ConfigError, match="unique"):
+            TaskPool(jobs=1).run([task, task], loader=_load_square)
+
+    def test_invalid_pool_config_rejected(self):
+        with pytest.raises(ConfigError):
+            TaskPool(jobs=0)
+        with pytest.raises(ConfigError):
+            TaskPool(max_attempts=0)
+
+    @settings(max_examples=10, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    @given(values=st.lists(st.integers(min_value=0, max_value=999),
+                           min_size=1, max_size=8, unique=True))
+    def test_parallel_output_equals_serial_output(self, tmp_path, values):
+        """Property: jobs>1 produces byte-identical results to jobs=1."""
+        serial_dir = tmp_path / f"serial-{len(list(tmp_path.iterdir()))}"
+        parallel_dir = serial_dir.with_name(serial_dir.name + "-par")
+        outputs = {}
+        for jobs, out_dir in ((1, serial_dir), (2, parallel_dir)):
+            out_dir.mkdir()
+            tasks = [_square_task(out_dir, n) for n in values]
+            results = TaskPool(jobs=jobs).run(tasks, loader=_load_square)
+            outputs[jobs] = (results,
+                             {t.path.name: t.path.read_bytes() for t in tasks})
+        assert outputs[1] == outputs[2]
