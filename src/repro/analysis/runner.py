@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+from pathlib import Path
+
 from repro.core.config import PaCRAMConfig
 from repro.core.pacram import PaCRAM
 from repro.dram.catalog import PACRAM_REFERENCE_MODULES
@@ -10,6 +12,7 @@ from repro.errors import ConfigError
 from repro.mitigations import make_mitigation
 from repro.sim.config import SystemConfig
 from repro.sim.system import MemorySystem, SimulationResult
+from repro.validation import default_check_mode, make_checker
 from repro.workloads.suites import workload_by_name
 
 #: Best-observed charge-restoration latencies per vendor (§9.2, obs. 5):
@@ -39,12 +42,21 @@ def run_simulation(workload_names: tuple[str, ...], *,
                    mitigation: str = "None", nrh: int = 1024,
                    pacram: PaCRAMConfig | None = None,
                    requests: int = 4_000, seed: int = 7,
-                   config: SystemConfig | None = None) -> SimulationResult:
+                   config: SystemConfig | None = None,
+                   check_protocol: str | None = None,
+                   violations_path: str | Path | None = None,
+                   ) -> SimulationResult:
     """Run one configuration: workloads x mitigation x optional PaCRAM.
 
     When PaCRAM is enabled the mitigation is instantiated with the *scaled*
     N_RH (§8.2's security adjustment) and preventive refreshes use the
     reduced latency through the policy hook.
+
+    ``check_protocol`` attaches a :class:`repro.validation.ProtocolChecker`
+    to the controller (``"off"``/``"tolerant"``/``"strict"``; ``None``
+    falls back to :func:`repro.validation.default_check_mode`).  Observed
+    violations land in ``result.protocol_violations`` and, if
+    ``violations_path`` is given, in a deterministic JSONL ledger there.
     """
     if config is None:
         config = SystemConfig(num_cores=max(1, len(workload_names)))
@@ -56,5 +68,17 @@ def run_simulation(workload_names: tuple[str, ...], *,
         policy = PaCRAM(config, pacram)
         effective_nrh = pacram.scaled_nrh(nrh)
     mechanism = make_mitigation(mitigation, effective_nrh)
-    system = MemorySystem(config, traces, mitigation=mechanism, policy=policy)
-    return system.run()
+    mode = check_protocol if check_protocol is not None else default_check_mode()
+    checker = make_checker(
+        config, mode=mode,
+        partial_limit=(policy.partial_restoration_limit()
+                       if policy is not None else None),
+        mitigation=mechanism)
+    system = MemorySystem(config, traces, mitigation=mechanism, policy=policy,
+                          observer=checker)
+    result = system.run()
+    if checker is not None:
+        result.protocol_violations = list(checker.violations)
+        if violations_path is not None:
+            checker.write_ledger(violations_path)
+    return result

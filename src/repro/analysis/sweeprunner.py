@@ -80,25 +80,50 @@ class SweepRow:
     energy_nj: float
     preventive_busy_fraction: float
     preventive_refresh_rows: int
+    #: Protocol violations the checker observed for this point (0 when the
+    #: sweep ran with checking off).
+    violations: int = 0
+    #: Content digest over every other field; ``None`` on legacy rows.
+    digest: str | None = None
 
     @classmethod
     def from_dict(cls, raw: dict) -> "SweepRow":
         raw = dict(raw)
         raw["workloads"] = tuple(raw["workloads"])
+        raw.setdefault("violations", 0)
+        raw.setdefault("digest", None)
         return cls(**raw)
+
+
+def row_digest(payload: dict) -> str:
+    """Content digest of one persisted row (everything but ``digest``).
+
+    Catches in-place corruption that still parses as valid JSON — e.g. a
+    flipped digit in a stored statistic — which schema validation alone
+    would accept."""
+    data = {k: v for k, v in payload.items() if k != "digest"}
+    blob = json.dumps(data, sort_keys=True, default=list)
+    return hashlib.sha256(blob.encode()).hexdigest()[:16]
 
 
 def load_row(path: str | Path) -> SweepRow:
     """Parse and validate one persisted row.
 
-    Truncated or schema-invalid files raise
+    Truncated, schema-invalid, or digest-mismatched files raise
     :class:`~repro.errors.SimulationError` so the engine can quarantine
-    and re-run the point instead of crashing the resume.
+    and re-run the point instead of crashing the resume (or worse,
+    aggregating corrupted statistics).  Rows persisted before digests
+    existed load without the digest check.
     """
     try:
-        return SweepRow.from_dict(json.loads(Path(path).read_text()))
+        raw = json.loads(Path(path).read_text())
+        row = SweepRow.from_dict(raw)
     except (ValueError, KeyError, TypeError) as error:
         raise SimulationError(f"invalid sweep row at {path}: {error}") from error
+    if row.digest is not None and row.digest != row_digest(raw):
+        raise SimulationError(
+            f"corrupt sweep row at {path}: content digest mismatch")
+    return row
 
 
 @dataclass
@@ -110,6 +135,8 @@ class SweepGrid:
     pacram_vendors: tuple[str | None, ...] = (None, "H", "M", "S")
     workload_sets: tuple[tuple[str, ...], ...] = (("spec06.mcf",),)
     requests: int = 2_000
+    #: Protocol-checker mode for every point ("off" | "tolerant" | "strict").
+    check_protocol: str = "off"
 
     def points(self) -> list[SweepPoint]:
         out = []
@@ -124,25 +151,46 @@ class SweepGrid:
         return out
 
 
-def _simulate_to(point: SweepPoint, requests: int, path: str) -> None:
+def violations_path(row_path: str | Path) -> Path:
+    """Where one point's violation ledger lives, next to its row."""
+    return Path(row_path).with_suffix(".violations.jsonl")
+
+
+def _simulate_to(point: SweepPoint, requests: int, path: str,
+                 check_protocol: str = "off") -> None:
     """Worker task: run one grid point, persist its row atomically.
 
-    Module-level so it pickles across the process-pool boundary.
+    Module-level so it pickles across the process-pool boundary.  With
+    checking enabled, observed violations are counted in the row and the
+    full ledger lands in ``<key>.violations.jsonl`` beside it (one file per
+    point keeps parallel workers from interleaving writes and makes the
+    ledger deterministic for a given seed).
     """
     pacram = (pacram_reference_config(point.pacram_vendor)
               if point.pacram_vendor else None)
     config = SystemConfig(num_cores=max(1, len(point.workloads)))
+    ledger = violations_path(path)
     result = run_simulation(
         point.workloads, mitigation=point.mitigation, nrh=point.nrh,
-        pacram=pacram, requests=requests, config=config)
+        pacram=pacram, requests=requests, config=config,
+        check_protocol=check_protocol)
     row = SweepRow(
         key=point.key, mitigation=point.mitigation, nrh=point.nrh,
         pacram_vendor=point.pacram_vendor, workloads=point.workloads,
         mean_ipc=result.mean_ipc, energy_nj=result.energy_nj,
         preventive_busy_fraction=result.preventive_busy_fraction,
         preventive_refresh_rows=(
-            result.controller_stats.preventive_refresh_rows))
-    write_atomic(path, json.dumps(asdict(row), indent=1))
+            result.controller_stats.preventive_refresh_rows),
+        violations=len(result.protocol_violations))
+    if result.protocol_violations:
+        lines = [json.dumps(v.to_json(), sort_keys=True)
+                 for v in result.protocol_violations]
+        write_atomic(ledger, "\n".join(lines) + "\n")
+    else:
+        ledger.unlink(missing_ok=True)  # drop a stale ledger on re-run
+    payload = asdict(row)
+    payload["digest"] = row_digest(payload)
+    write_atomic(path, json.dumps(payload, indent=1))
 
 
 class SweepRunner:
@@ -174,7 +222,8 @@ class SweepRunner:
     def _task(self, point: SweepPoint) -> Task:
         path = self.row_path(point)
         return Task(key=point.key, path=path, fn=_simulate_to,
-                    args=(point, self.grid.requests, str(path)))
+                    args=(point, self.grid.requests, str(path),
+                          self.grid.check_protocol))
 
     # ------------------------------------------------------------------
     def run_point(self, point: SweepPoint, *, force: bool = False) -> SweepRow:

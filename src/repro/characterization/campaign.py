@@ -26,6 +26,7 @@ from repro.dram.catalog import all_module_ids
 from repro.dram.timing import TESTED_TRAS_FACTORS
 from repro.errors import CharacterizationError
 from repro.runtime import LEDGER_NAME, ProgressReporter, Task, TaskPool
+from repro.validation.physics import model_digest
 
 
 @dataclass
@@ -58,6 +59,26 @@ def _characterize_to(module_id: str, config: CampaignConfig,
         n_prs=config.n_prs, temperatures_c=config.temperatures_c,
         per_region=config.per_region, seed=config.seed)
     result.save(path)
+
+
+def _load_checked(path: str | Path) -> ModuleCharacterization:
+    """Load a persisted result and verify its model digest.
+
+    A mismatch means the device model (or its calibration) changed since
+    the result was produced; raising lets :class:`repro.runtime.TaskPool`
+    quarantine the stale file and re-run the module, so a resumed campaign
+    can never silently mix measurements from two different models.  Results
+    persisted before digests existed (``model_digest is None``) pass.
+    """
+    result = ModuleCharacterization.load(path)
+    if result.model_digest is not None:
+        expected = model_digest(result.module_id, result.seed)
+        if result.model_digest != expected:
+            raise CharacterizationError(
+                f"{result.module_id}: persisted measurements came from a "
+                f"different device model (stored digest "
+                f"{result.model_digest[:12]}.., live {expected[:12]}..)")
+    return result
 
 
 class CharacterizationCampaign:
@@ -101,7 +122,7 @@ class CharacterizationCampaign:
                 f"{module_id} is not part of this campaign")
         pool = self._pool(jobs=1, progress=None)
         results = pool.run([self._task(module_id)],
-                           loader=ModuleCharacterization.load, force=force)
+                           loader=_load_checked, force=force)
         return results[module_id]
 
     def run(self, *, force: bool = False, jobs: int | None = 1,
@@ -116,8 +137,7 @@ class CharacterizationCampaign:
         pool = self._pool(jobs=jobs, progress=progress)
         tasks = [self._task(module_id)
                  for module_id in self.config.module_ids]
-        return pool.run(tasks, loader=ModuleCharacterization.load,
-                        force=force)
+        return pool.run(tasks, loader=_load_checked, force=force)
 
     def load(self) -> dict[str, ModuleCharacterization]:
         """Load a completed campaign's results without running anything."""
@@ -125,9 +145,8 @@ class CharacterizationCampaign:
         if missing:
             raise CharacterizationError(
                 f"campaign incomplete; missing modules: {missing}")
-        return {module_id: ModuleCharacterization.load(
-            self.result_path(module_id))
-            for module_id in self.config.module_ids}
+        return {module_id: _load_checked(self.result_path(module_id))
+                for module_id in self.config.module_ids}
 
     # ------------------------------------------------------------------
     def summary(self) -> str:

@@ -43,6 +43,11 @@ class ModuleCharacterization:
     module_id: str
     seed: int
     measurements: list[RowMeasurement] = field(default_factory=list)
+    #: Fingerprint of the device-model calibration that produced these
+    #: measurements (:func:`repro.validation.model_digest`); ``None`` for
+    #: results persisted before digests existed.  Campaign resumes compare
+    #: it against the live model to detect silent model drift.
+    model_digest: str | None = None
 
     def add(self, measurement: RowMeasurement) -> None:
         self.measurements.append(measurement)
@@ -124,6 +129,7 @@ class ModuleCharacterization:
         payload = {
             "module_id": self.module_id,
             "seed": self.seed,
+            "model_digest": self.model_digest,
             "measurements": [asdict(m) for m in self.measurements],
         }
         return json.dumps(payload, indent=1)
@@ -140,7 +146,8 @@ class ModuleCharacterization:
         """
         try:
             payload = json.loads(text)
-            result = cls(module_id=payload["module_id"], seed=payload["seed"])
+            result = cls(module_id=payload["module_id"], seed=payload["seed"],
+                         model_digest=payload.get("model_digest"))
             for raw in payload["measurements"]:
                 result.add(RowMeasurement(**raw))
         except (ValueError, KeyError, TypeError) as error:

@@ -15,6 +15,7 @@ from repro.characterization.results import ModuleCharacterization
 from repro.characterization.rows import select_test_bank, select_test_rows
 from repro.dram.timing import TESTED_TRAS_FACTORS
 from repro.errors import CharacterizationError
+from repro.validation.physics import model_digest
 
 #: Default config for sweeps: a single iteration, because the device model
 #: is deterministic (the paper's five iterations guard against run-to-run
@@ -52,7 +53,8 @@ def characterize_module(module_id: str, *,
                  if len(module.mapping.neighbors(r, 1)) == 2)
     factors = tuple(dict.fromkeys((1.00,) + tuple(tras_factors)))
     n_pr_values = tuple(dict.fromkeys((1,) + tuple(n_prs)))
-    result = ModuleCharacterization(module_id=module_id, seed=seed)
+    result = ModuleCharacterization(module_id=module_id, seed=seed,
+                                    model_digest=model_digest(module_id, seed))
     nominal = module.timing.tRAS
     for temperature in temperatures_c:
         host.set_temperature(temperature)

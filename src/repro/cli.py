@@ -6,12 +6,21 @@ Installed as ``repro-experiments``::
     repro-experiments run fig4
     repro-experiments run table4 --out table4.txt
     repro-experiments catalog S6
+    repro-experiments validate
+    repro-experiments sweep --check-protocol strict
+
+``run``, ``campaign``, and ``sweep`` accept ``--check-protocol
+{off,tolerant,strict}`` to attach the :mod:`repro.validation` protocol
+checker (and, for campaigns, the physics invariant guards); ``validate``
+runs the physics guards plus the deterministic fault-injection matrix and
+fails if any fault class goes undetected.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import tempfile
 from pathlib import Path
 
 from repro.analysis.experiments import EXPERIMENTS, run_experiment
@@ -21,11 +30,12 @@ from repro.characterization.campaign import (
     CampaignConfig,
     CharacterizationCampaign,
 )
-from repro.dram.catalog import all_module_specs, module_spec
+from repro.dram.catalog import all_module_ids, all_module_specs, module_spec
 from repro.dram.timing import TESTED_TRAS_FACTORS
 from repro.errors import ReproError
 from repro.runtime import PrintProgress
 from repro.sim.configloader import EvaluationConfig
+from repro.validation import check_physics, set_default_check_mode
 
 
 def _render(result: object) -> str:
@@ -53,6 +63,7 @@ def cmd_list(_: argparse.Namespace) -> int:
 
 
 def cmd_run(args: argparse.Namespace) -> int:
+    set_default_check_mode(args.check_protocol)
     result = run_experiment(args.experiment)
     text = _render(result)
     if args.out:
@@ -88,6 +99,13 @@ def cmd_campaign(args: argparse.Namespace) -> int:
     if args.status:
         print(campaign.summary())
         return 0
+    if args.check_protocol != "off":
+        # Physics guards before spending hours measuring a broken model;
+        # strict raises, tolerant reports and continues.
+        for module_id in module_ids:
+            for problem in check_physics(module_id,
+                                         mode=args.check_protocol):
+                print(f"physics: {problem}", file=sys.stderr)
     campaign.run(jobs=args.jobs, progress=PrintProgress())
     print(campaign.summary())
     return 0
@@ -96,21 +114,54 @@ def cmd_campaign(args: argparse.Namespace) -> int:
 def cmd_sweep(args: argparse.Namespace) -> int:
     if args.config:
         grid = EvaluationConfig.load(args.config).sweep_grid()
+        if args.check_protocol is not None:
+            grid.check_protocol = args.check_protocol
     else:
         grid = SweepGrid(
             mitigations=tuple(args.mitigations.split(",")),
             nrh_values=tuple(int(v) for v in args.nrh.split(",")),
-            requests=args.requests)
+            requests=args.requests,
+            check_protocol=args.check_protocol or "off")
     runner = SweepRunner(args.dir, grid)
     if args.status:
         done, total = runner.status()
         print(f"{done}/{total} runs done")
         return 0
     rows = runner.run(jobs=args.jobs, progress=PrintProgress())
+    violations = sum(row.violations for row in rows)
+    if grid.check_protocol != "off":
+        print(f"protocol check ({grid.check_protocol}): "
+              f"{violations} violation(s) across {len(rows)} points")
     for (mitigation, label), series in runner.aggregate(rows).items():
         values = " ".join(f"nrh={n}:{v:.4f}" for n, v in sorted(series.items()))
         print(f"{mitigation:<9} {label:<9} {values}")
     return 0
+
+
+def cmd_validate(args: argparse.Namespace) -> int:
+    from repro.validation.matrix import run_matrix
+    failures = 0
+    module_ids = (tuple(args.modules.split(","))
+                  if args.modules else all_module_ids())
+    for module_id in module_ids:
+        problems = check_physics(module_id, mode="tolerant")
+        for problem in problems:
+            print(f"physics: {problem}", file=sys.stderr)
+        failures += len(problems)
+    print(f"physics invariants: {len(module_ids)} module(s) checked, "
+          f"{failures} problem(s)")
+    if args.skip_faults:
+        return 1 if failures else 0
+    if args.dir:
+        report = run_matrix(args.dir, seed=args.seed)
+    else:
+        with tempfile.TemporaryDirectory(prefix="repro-validate-") as workdir:
+            report = run_matrix(workdir, seed=args.seed)
+    print(report.summary())
+    if args.out:
+        report.save(args.out)
+        print(f"wrote {args.out}")
+    return 0 if report.all_covered and not failures else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -125,6 +176,10 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser = subparsers.add_parser("run", help="run one experiment")
     run_parser.add_argument("experiment", choices=sorted(EXPERIMENTS))
     run_parser.add_argument("--out", help="write the result to a file")
+    run_parser.add_argument("--check-protocol", default="off",
+                            choices=("off", "tolerant", "strict"),
+                            help="attach the DDR protocol checker to every "
+                                 "simulation this experiment runs")
     run_parser.set_defaults(func=cmd_run)
 
     catalog_parser = subparsers.add_parser(
@@ -146,6 +201,10 @@ def build_parser() -> argparse.ArgumentParser:
                                       "(default: all cores)")
     campaign_parser.add_argument("--status", action="store_true",
                                  help="only report progress")
+    campaign_parser.add_argument("--check-protocol", default="off",
+                                 choices=("off", "tolerant", "strict"),
+                                 help="run the physics invariant guards on "
+                                      "every module before measuring")
     campaign_parser.set_defaults(func=cmd_campaign)
 
     sweep_parser = subparsers.add_parser(
@@ -166,7 +225,28 @@ def build_parser() -> argparse.ArgumentParser:
                                    "(default: all cores)")
     sweep_parser.add_argument("--status", action="store_true",
                               help="only report progress")
+    sweep_parser.add_argument("--check-protocol", default=None,
+                              choices=("off", "tolerant", "strict"),
+                              help="protocol-check every grid point "
+                                   "(default: the config file's setting, "
+                                   "else off)")
     sweep_parser.set_defaults(func=cmd_sweep)
+
+    validate_parser = subparsers.add_parser(
+        "validate", help="run physics guards and the fault-injection matrix")
+    validate_parser.add_argument("--modules",
+                                 help="comma-separated module ids for the "
+                                      "physics guards (default: all 30)")
+    validate_parser.add_argument("--seed", type=int, default=2025,
+                                 help="fault-matrix seed")
+    validate_parser.add_argument("--dir",
+                                 help="keep fault-scenario artifacts here "
+                                      "(default: a temporary directory)")
+    validate_parser.add_argument("--out",
+                                 help="write the matrix report JSON here")
+    validate_parser.add_argument("--skip-faults", action="store_true",
+                                 help="physics guards only")
+    validate_parser.set_defaults(func=cmd_validate)
     return parser
 
 

@@ -64,6 +64,10 @@ class PaCRAM(RefreshLatencyPolicy):
         """Security adjustment: mitigations run at a reduced N_RH (§8.2)."""
         return min(self.pacram.nrh_reduction_ratio, 1.0)
 
+    def partial_restoration_limit(self) -> int | None:
+        """PaCRAM's N_PCR bound on consecutive partial restorations (§8.3)."""
+        return self.pacram.npcr
+
     # ------------------------------------------------------------------
     def _bank_granular(self, flat_bank: int) -> tuple[float, bool]:
         """F/P discipline for in-DRAM-resolved victims (RFM/PRAC, §8.5)."""

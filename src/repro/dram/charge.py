@@ -261,6 +261,76 @@ class ChargeModel:
         return self._retention_margin(self._clamp_factor(factor), n_pr)
 
     # ------------------------------------------------------------------
+    # invariants
+    # ------------------------------------------------------------------
+    def check_invariants(self) -> list[str]:
+        """Validate the calibrated physics; returns problem descriptions.
+
+        An empty list means the model is self-consistent.  Checked:
+
+        * retention-margin anchors (the charge proxy) lie in [0, 1] and are
+          monotone nondecreasing in the tRAS factor — less restoration time
+          can never leave *more* charge;
+        * N_PCR limits are monotone nondecreasing in the tRAS factor;
+        * N_RH ratio anchors are bounded (per-module measurements are noisy
+          and may exceed 1.0 slightly, but not wildly);
+        * retention parameters describe non-negative leakage.
+
+        Per-module N_RH ratio anchors are deliberately *not* required to be
+        monotone: the published Table 3/4 measurements carry experimental
+        noise (e.g. ratios above 1.0 at mid factors), and the model
+        reproduces them as-is.
+        """
+        problems: list[str] = []
+        mid = self.spec.module_id
+
+        def _monotone(anchors: dict[float, float], label: str) -> None:
+            points = sorted(anchors.items())
+            for (x0, y0), (x1, y1) in zip(points, points[1:]):
+                if y1 < y0 - 1e-12:
+                    problems.append(
+                        f"{mid}: {label} not monotone: "
+                        f"f({x1})={y1:.4g} < f({x0})={y0:.4g}")
+
+        for factor, margin in self._margin_anchors.items():
+            if not 0.0 <= margin <= 1.0:
+                problems.append(
+                    f"{mid}: margin anchor at factor {factor} out of "
+                    f"[0, 1]: {margin:.4g}")
+        _monotone(self._margin_anchors, "restoration-margin curve")
+        _monotone(self._npcr_anchors, "N_PCR limit curve")
+        for label, anchors in (("single", self._single_ratio_anchors),
+                               ("repeated", self._repeated_ratio_anchors)):
+            for factor, ratio in anchors.items():
+                if not 0.0 <= ratio <= 1.5:
+                    problems.append(
+                        f"{mid}: {label}-restoration N_RH ratio at factor "
+                        f"{factor} out of [0, 1.5]: {ratio:.4g}")
+        params = self._retention
+        if params.weakest_row_retention_ns <= 0:
+            problems.append(f"{mid}: non-positive weakest-row retention")
+        if params.tail_scale < 0 or params.tail_exponent <= 0:
+            problems.append(f"{mid}: invalid retention tail shape")
+        if params.pcr_margin_beta < 0:
+            problems.append(f"{mid}: negative PCR margin decay (would mean "
+                            "charge *grows* with repeated partials)")
+        for factor in (0.18, 0.27, 0.36, 0.45, 0.64, 0.81, 1.0):
+            for n_pr in (1, 8, 128):
+                margin = self._retention_margin(factor, n_pr)
+                if not 0.0 <= margin <= 1.0:
+                    problems.append(
+                        f"{mid}: retention margin({factor}, {n_pr}) out of "
+                        f"[0, 1]: {margin:.4g}")
+                ratio = self.nrh_ratio(factor, n_pr)
+                if not 0.0 <= ratio <= 1.5:
+                    problems.append(
+                        f"{mid}: nrh_ratio({factor}, {n_pr}) out of "
+                        f"[0, 1.5]: {ratio:.4g}")
+            if self.npcr_limit(factor) < 0:
+                problems.append(f"{mid}: negative N_PCR limit at {factor}")
+        return problems
+
+    # ------------------------------------------------------------------
     # internals
     # ------------------------------------------------------------------
     def _retention_margin(self, factor: float, n_pr: int) -> float:

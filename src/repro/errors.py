@@ -45,5 +45,22 @@ class ExecutionError(ReproError):
     """
 
 
+class ProtocolViolation(ReproError):
+    """A runtime invariant of the DRAM protocol or device physics was broken.
+
+    Raised by :class:`repro.validation.ProtocolChecker` in ``strict`` mode
+    when an issued command violates a JEDEC timing constraint, a refresh
+    deadline is missed, or PaCRAM's N_PCR/t_FCRI safety envelope is
+    exceeded.  In ``tolerant`` mode the same events are appended to a
+    ``violations.jsonl`` ledger instead.
+    """
+
+    def __init__(self, message: str, *, rule: str = "",
+                 time_ns: float = 0.0) -> None:
+        super().__init__(message)
+        self.rule = rule
+        self.time_ns = time_ns
+
+
 class UnknownModuleError(ReproError):
     """A module id was requested that is not in the tested-module catalog."""

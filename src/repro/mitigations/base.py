@@ -75,6 +75,10 @@ class MitigationMechanism(abc.ABC):
     #: Extra per-activation bank-time cost (PRAC's extended row cycle for
     #: in-DRAM counter updates); zero for controller-side mechanisms.
     act_penalty_ns: float = 0.0
+    #: True for mechanisms that guarantee a bounded hammer count per victim
+    #: (exact counters like Graphene).  Probabilistic mechanisms (PARA) leave
+    #: this False so observers don't flag their expected statistical misses.
+    deterministic_coverage: bool = False
 
     def __init__(self, nrh: int) -> None:
         if nrh <= 0:

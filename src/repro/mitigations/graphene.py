@@ -61,6 +61,9 @@ class Graphene(MitigationMechanism):
     """Exact-guarantee aggressor tracking with per-bank Misra-Gries tables."""
 
     name = "Graphene"
+    #: Exact Misra-Gries detection bounds every victim's hammer count, so
+    #: observers may hold Graphene to a deterministic coverage guarantee.
+    deterministic_coverage = True
 
     def __init__(self, nrh: int, *, acts_per_window: int = ACTS_PER_WINDOW) -> None:
         super().__init__(nrh)

@@ -8,7 +8,13 @@ quarantine on resume, bounded retry with an error ledger, and a
 progress/ETA reporter.  ``jobs=1`` runs the identical code path serially.
 """
 
-from repro.runtime.engine import LEDGER_NAME, PoolReport, Task, TaskPool
+from repro.runtime.engine import (
+    LEDGER_MAX_BYTES,
+    LEDGER_NAME,
+    PoolReport,
+    Task,
+    TaskPool,
+)
 from repro.runtime.persist import (
     CORRUPT_SUFFIX,
     discard_stale_tmp,
@@ -19,6 +25,7 @@ from repro.runtime.progress import PrintProgress, ProgressReporter
 
 __all__ = [
     "CORRUPT_SUFFIX",
+    "LEDGER_MAX_BYTES",
     "LEDGER_NAME",
     "PoolReport",
     "PrintProgress",

@@ -38,13 +38,18 @@ from pathlib import Path
 from typing import Any, Callable
 
 from repro.errors import ConfigError, ExecutionError
-from repro.runtime.persist import discard_stale_tmp, quarantine
+from repro.runtime.persist import discard_stale_tmp, quarantine, write_atomic
 from repro.runtime.progress import ProgressReporter
 
-__all__ = ["Task", "TaskPool", "LEDGER_NAME"]
+__all__ = ["Task", "TaskPool", "LEDGER_NAME", "LEDGER_MAX_BYTES"]
 
 #: File name of the per-run error ledger, kept next to the results.
 LEDGER_NAME = "errors.jsonl"
+
+#: Default size cap of the error ledger.  A retry loop on a long campaign
+#: must not fill the disk; when the ledger outgrows the cap, the oldest
+#: records are dropped (the newest ones explain the current failures).
+LEDGER_MAX_BYTES = 512 * 1024
 
 
 @dataclass(frozen=True)
@@ -102,6 +107,7 @@ class TaskPool:
     def __init__(self, *, jobs: int | None = None, max_attempts: int = 3,
                  backoff_s: float = 0.1,
                  ledger_path: str | Path | None = None,
+                 ledger_max_bytes: int = LEDGER_MAX_BYTES,
                  progress: ProgressReporter | None = None,
                  sleep: Callable[[float], None] = time.sleep) -> None:
         import os
@@ -111,13 +117,18 @@ class TaskPool:
             raise ConfigError(f"jobs must be >= 1, got {jobs}")
         if max_attempts < 1:
             raise ConfigError(f"max_attempts must be >= 1, got {max_attempts}")
+        if ledger_max_bytes < 1:
+            raise ConfigError(
+                f"ledger_max_bytes must be >= 1, got {ledger_max_bytes}")
         self.jobs = jobs
         self.max_attempts = max_attempts
         self.backoff_s = backoff_s
         self.ledger_path = Path(ledger_path) if ledger_path else None
+        self.ledger_max_bytes = ledger_max_bytes
         self.progress = progress or ProgressReporter()
         self.sleep = sleep
         self.last_report: PoolReport | None = None
+        self._run_started_monotonic = time.monotonic()
 
     # ------------------------------------------------------------------
     def run(self, tasks: list[Task], loader: Callable[[Path], Any], *,
@@ -133,6 +144,7 @@ class TaskPool:
         keys = [task.key for task in tasks]
         if len(set(keys)) != len(keys):
             raise ConfigError("task keys must be unique within one run")
+        self._run_started_monotonic = time.monotonic()
         report = PoolReport()
         self.last_report = report
         results: dict[str, Any] = {}
@@ -219,11 +231,35 @@ class TaskPool:
     # ------------------------------------------------------------------
     def _record(self, key: str, attempt: int, error: str, *,
                 action: str, **extra: str) -> None:
-        """Append one event to the error ledger (if one is configured)."""
+        """Append one event to the error ledger (if one is configured).
+
+        Each record carries the retry ``attempt`` number and the monotonic
+        ``elapsed_s`` since the run started (wall-clock ``time`` can jump
+        backwards under NTP; debugging a retry storm needs real durations).
+        """
         if self.ledger_path is None:
             return
         record = {"key": key, "action": action, "attempt": attempt,
-                  "error": error, "time": time.time(), **extra}
+                  "error": error, "time": time.time(),
+                  "elapsed_s": round(
+                      time.monotonic() - self._run_started_monotonic, 6),
+                  **extra}
         self.ledger_path.parent.mkdir(parents=True, exist_ok=True)
         with self.ledger_path.open("a") as ledger:
             ledger.write(json.dumps(record) + "\n")
+        self._trim_ledger()
+
+    def _trim_ledger(self) -> None:
+        """Drop oldest ledger records once the file outgrows the cap."""
+        try:
+            size = self.ledger_path.stat().st_size
+        except OSError:
+            return
+        if size <= self.ledger_max_bytes:
+            return
+        lines = self.ledger_path.read_text().splitlines(keepends=True)
+        # Evict oldest-first, but always keep the newest record even if it
+        # alone exceeds the cap.
+        while len(lines) > 1 and size > self.ledger_max_bytes:
+            size -= len(lines.pop(0).encode("utf-8"))
+        write_atomic(self.ledger_path, "".join(lines))

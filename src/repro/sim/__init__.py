@@ -13,6 +13,7 @@ blocking banks) while staying fast enough for multi-configuration sweeps in
 pure Python.
 """
 
+from repro.sim.commands import Command, CommandObserver
 from repro.sim.config import SystemConfig
 from repro.sim.configloader import EvaluationConfig
 from repro.sim.request import Request, RequestType
@@ -23,6 +24,8 @@ from repro.sim.system import MemorySystem, SimulationResult
 from repro.sim.stats import ControllerStats, weighted_speedup
 
 __all__ = [
+    "Command",
+    "CommandObserver",
     "SystemConfig",
     "EvaluationConfig",
     "Request",

@@ -6,6 +6,13 @@ from dataclasses import dataclass, field
 
 from repro.errors import SimulationError
 
+#: Tolerance for float round-off when comparing command start times against
+#: a bank's ready time.  Timing parameters are tens of nanoseconds, so a
+#: microsecond-long simulation accumulates error far below a femtosecond;
+#: a fraction of a nanosecond is orders of magnitude above any legitimate
+#: round-off while still catching real scheduling bugs.
+OCCUPY_EPSILON_NS = 1e-6
+
 
 @dataclass
 class BankTimeline:
@@ -35,9 +42,12 @@ class BankTimeline:
         """Reserve the bank for an operation; returns the end time."""
         if duration_ns < 0:
             raise SimulationError("negative occupancy")
-        if start_ns < self.ready_ns:
+        if start_ns < self.ready_ns - OCCUPY_EPSILON_NS:
             raise SimulationError(
                 f"bank occupied at {start_ns} while busy until {self.ready_ns}")
+        # Within round-off of ready: clamp up so the reservation never
+        # shrinks, instead of failing a long simulation on float noise.
+        start_ns = max(start_ns, self.ready_ns)
         end = start_ns + duration_ns
         self.ready_ns = end
         if preventive:

@@ -1,0 +1,126 @@
+"""DRAM command events emitted by the memory controller for observers.
+
+The controller models timing analytically — it never materializes a command
+stream.  For runtime validation (:mod:`repro.validation`) it optionally
+*narrates* what it does as a sequence of lightweight command events: every
+activation, precharge, column access, periodic refresh, preventive refresh,
+and mitigation request is reported to an attached
+:class:`CommandObserver`.  With no observer attached nothing is
+constructed, so the instrumented paths cost a single ``is not None`` check.
+
+Events carry the controller's own computed issue times; an observer
+re-validates them against an independent model of the DDR state machine.
+Timestamps are simulation nanoseconds.  Events are emitted in program
+order, which is *almost* time order — a bus-constrained CAS can be pushed
+past a periodic refresh that is reported later — so observers must keep
+per-resource state rather than assume a globally sorted stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol, runtime_checkable
+
+
+@dataclass(frozen=True)
+class ActCommand:
+    """A row activation (demand ACT) on one bank."""
+
+    flat_bank: int
+    rank: int
+    channel: int
+    bank_group: int
+    row: int
+    time_ns: float
+
+
+@dataclass(frozen=True)
+class PreCommand:
+    """An explicit precharge closing ``flat_bank``'s open row."""
+
+    flat_bank: int
+    time_ns: float
+
+
+@dataclass(frozen=True)
+class CasCommand:
+    """A column access (RD or WR) on an open row."""
+
+    flat_bank: int
+    channel: int
+    bank_group: int
+    row: int
+    time_ns: float
+    is_write: bool
+
+
+@dataclass(frozen=True)
+class RefCommand:
+    """One periodic all-bank refresh command on a rank."""
+
+    rank: int
+    time_ns: float
+    trfc_ns: float
+
+
+@dataclass(frozen=True)
+class PreventiveRefreshCmd:
+    """One victim row's preventive charge restoration.
+
+    ``row`` is ``-1`` when the victim is resolved inside the DRAM chip
+    (RFM / PRAC back-off) and the controller cannot name it.  ``full``
+    mirrors the refresh-latency policy's decision: ``False`` means a
+    PaCRAM partial restoration at ``tras_ns < tRAS``.
+    """
+
+    flat_bank: int
+    row: int
+    time_ns: float
+    tras_ns: float
+    full: bool
+
+
+@dataclass(frozen=True)
+class MetadataCmd:
+    """Mitigation metadata traffic occupying a bank (Hydra's RCT)."""
+
+    flat_bank: int
+    time_ns: float
+    duration_ns: float
+    reads: int
+    writes: int
+
+
+@dataclass(frozen=True)
+class MitigationRequest:
+    """What a mitigation asked the controller to do on one activation.
+
+    Observers cross-check requests against the executed
+    :class:`PreventiveRefreshCmd` stream: a controller that drops or delays
+    a requested refresh leaves the request unmatched.  ``victims`` holds
+    resolved victim row numbers for controller-side refreshes and is empty
+    for in-DRAM (RFM) requests, where ``victim_count`` still carries the
+    expected number of restored rows.
+    """
+
+    flat_bank: int
+    aggressor_row: int
+    kind: str  #: "refresh" | "rfm" | "metadata"
+    victims: tuple[int, ...]
+    victim_count: int
+    time_ns: float
+
+
+Command = (ActCommand | PreCommand | CasCommand | RefCommand
+           | PreventiveRefreshCmd | MetadataCmd | MitigationRequest)
+
+
+@runtime_checkable
+class CommandObserver(Protocol):
+    """Anything that can watch the controller's command stream."""
+
+    def on_command(self, command: Command) -> None:
+        """Observe one command event (called in emission order)."""
+
+    def finalize(self, end_ns: float) -> None:
+        """The simulation ended at ``end_ns``; run end-of-stream checks."""

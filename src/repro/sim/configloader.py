@@ -10,6 +10,7 @@ factors, and workloads — plus a loader that materializes the objects.
 
 from __future__ import annotations
 
+import difflib
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -23,6 +24,7 @@ from repro.workloads.suites import single_core_suite
 _KNOWN_KEYS = {
     "mitigations", "nrh_values", "pacram_vendors", "workloads",
     "requests", "num_cores", "latency_factor_vrr", "latency_factor_rfc",
+    "check_protocol",
 }
 
 
@@ -42,11 +44,27 @@ class EvaluationConfig:
     latency_factor_vrr: float | None = None
     #: Periodic-refresh latency factor (latency_factor_rfc, Appendix B).
     latency_factor_rfc: float = 1.0
+    #: Protocol-checker mode for every run ("off" | "tolerant" | "strict").
+    check_protocol: str = "off"
 
     def __post_init__(self) -> None:
         unknown = [m for m in self.mitigations if m not in MITIGATION_CLASSES]
         if unknown:
             raise ConfigError(f"unknown mitigations: {unknown}")
+        for label, values in (("mitigations", self.mitigations),
+                              ("workloads", self.workloads)):
+            duplicates = sorted({v for v in values if values.count(v) > 1})
+            if duplicates:
+                raise ConfigError(
+                    f"duplicate {label}: {duplicates} (each entry would be "
+                    "evaluated twice and overwrite the other's results)")
+        # Lazy import: the validation layer builds on the simulator, so a
+        # module-level import here would be circular.
+        from repro.validation.checker import CHECK_MODES
+        if self.check_protocol not in CHECK_MODES:
+            raise ConfigError(
+                f"check_protocol must be one of {CHECK_MODES}, "
+                f"got {self.check_protocol!r}")
         if any(nrh <= 0 for nrh in self.nrh_values):
             raise ConfigError("N_RH values must be positive")
         for vendor in self.pacram_vendors:
@@ -77,6 +95,7 @@ class EvaluationConfig:
             pacram_vendors=self.pacram_vendors,
             workload_sets=tuple((name,) for name in self.workloads),
             requests=self.requests,
+            check_protocol=self.check_protocol,
         )
 
     # ------------------------------------------------------------------
@@ -84,7 +103,14 @@ class EvaluationConfig:
     def from_dict(cls, raw: dict) -> "EvaluationConfig":
         unknown = set(raw) - _KNOWN_KEYS
         if unknown:
-            raise ConfigError(f"unknown config keys: {sorted(unknown)}")
+            parts = []
+            for key in sorted(unknown):
+                close = difflib.get_close_matches(key, _KNOWN_KEYS, n=1)
+                hint = f" (did you mean {close[0]!r}?)" if close else ""
+                parts.append(f"{key!r}{hint}")
+            raise ConfigError(
+                f"unknown config keys: {', '.join(parts)}; "
+                f"known keys: {sorted(_KNOWN_KEYS)}")
         kwargs: dict = {}
         for key in ("mitigations", "workloads"):
             if key in raw:
@@ -101,12 +127,26 @@ class EvaluationConfig:
         for key in ("latency_factor_vrr", "latency_factor_rfc"):
             if key in raw and raw[key] is not None:
                 kwargs[key] = float(raw[key])
+        if "check_protocol" in raw:
+            kwargs["check_protocol"] = str(raw["check_protocol"])
         return cls(**kwargs)
+
+    @staticmethod
+    def _reject_duplicate_keys(pairs: list) -> dict:
+        """JSON object hook: a repeated key means the later value silently
+        wins with a plain ``json.loads`` — make it a hard error instead."""
+        seen: dict = {}
+        for key, value in pairs:
+            if key in seen:
+                raise ConfigError(f"duplicate config key {key!r}")
+            seen[key] = value
+        return seen
 
     @classmethod
     def load(cls, path: str | Path) -> "EvaluationConfig":
         try:
-            raw = json.loads(Path(path).read_text())
+            raw = json.loads(Path(path).read_text(),
+                             object_pairs_hook=cls._reject_duplicate_keys)
         except json.JSONDecodeError as error:
             raise ConfigError(f"malformed config file {path}: {error}") from None
         if not isinstance(raw, dict):
@@ -124,5 +164,6 @@ class EvaluationConfig:
             "num_cores": self.num_cores,
             "latency_factor_vrr": self.latency_factor_vrr,
             "latency_factor_rfc": self.latency_factor_rfc,
+            "check_protocol": self.check_protocol,
         }
         Path(path).write_text(json.dumps(payload, indent=2) + "\n")

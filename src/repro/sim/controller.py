@@ -20,6 +20,16 @@ from repro.mitigations.base import (
     RfmCommand,
 )
 from repro.sim.bankmodel import BankTimeline, ChannelTimeline, RankTimeline
+from repro.sim.commands import (
+    ActCommand,
+    CasCommand,
+    CommandObserver,
+    MetadataCmd,
+    MitigationRequest,
+    PreCommand,
+    PreventiveRefreshCmd,
+    RefCommand,
+)
 from repro.sim.config import SystemConfig
 from repro.sim.energy import EnergyModel
 from repro.sim.request import Request
@@ -51,17 +61,30 @@ class RefreshLatencyPolicy:
         secure under this policy's reduced latencies (§8.2)."""
         return 1.0
 
+    def partial_restoration_limit(self) -> int | None:
+        """Max consecutive partial restorations a row may legally receive.
+
+        ``None`` means this policy never issues partial restorations, so an
+        observer should treat *any* partial restoration as a violation.
+        PaCRAM overrides this with its ``N_PCR`` bound (§8.3).
+        """
+        return None
+
 
 class MemoryController:
     """One memory controller driving all channels of the system."""
 
     def __init__(self, config: SystemConfig,
                  mitigation: MitigationMechanism | None = None,
-                 policy: RefreshLatencyPolicy | None = None) -> None:
+                 policy: RefreshLatencyPolicy | None = None,
+                 observer: CommandObserver | None = None) -> None:
         self.config = config
         self.timing = config.timing
         self.mitigation = mitigation or NoMitigation()
         self.policy = policy or RefreshLatencyPolicy(config)
+        #: Optional command-stream observer (``repro.validation``).  ``None``
+        #: keeps every instrumented path at a single pointer check.
+        self.observer = observer
         self.stats = ControllerStats()
         self.energy = EnergyModel(ranks=config.channels * config.ranks)
         self.banks = [BankTimeline() for _ in range(config.total_banks)]
@@ -175,11 +198,14 @@ class MemoryController:
 
     def _service(self, request: Request) -> None:
         timing = self.timing
-        bank = self._bank(request)
-        rank = self.ranks[self._rank_index(request)]
+        flat = self._flat_bank(request)
+        bank = self.banks[flat]
+        rank_index = self._rank_index(request)
+        rank = self.ranks[rank_index]
         channel = self.channels[request.decoded.channel]
         row = request.decoded.row
         earliest = max(self.now_ns, request.arrival_ns, bank.ready_ns)
+        observer = self.observer
 
         if bank.open_row == row:
             self.stats.row_hits += 1
@@ -187,12 +213,20 @@ class MemoryController:
         else:
             self.stats.row_misses += 1
             act_start = earliest
-            if bank.open_row is not None:
+            closes_row = bank.open_row is not None
+            if closes_row:
                 # Ready-to-precharge: tRAS after the last ACT, then tRP.
                 pre_start = max(earliest, bank.act_ns + timing.tRAS)
                 act_start = pre_start + timing.tRP
             act_start = max(act_start, rank.faw_constraint(act_start, timing.tFAW))
             rank.record_act(act_start)
+            if observer is not None:
+                if closes_row:
+                    observer.on_command(PreCommand(flat, pre_start))
+                decoded = request.decoded
+                observer.on_command(ActCommand(
+                    flat, rank_index, decoded.channel, decoded.bank_group,
+                    row, act_start))
             bank.open_row = row
             bank.act_ns = act_start
             self.stats.activations += 1
@@ -204,6 +238,11 @@ class MemoryController:
 
         cas_start = channel.cas_constraint(
             cas_start, request.decoded.bank_group, timing.tCCD, timing.tCCD_L)
+        if observer is not None:
+            decoded = request.decoded
+            observer.on_command(CasCommand(
+                flat, decoded.channel, decoded.bank_group, row,
+                cas_start, not request.is_read))
         if request.is_read:
             self.stats.reads += 1
             self.energy.add_read()
@@ -228,10 +267,21 @@ class MemoryController:
             self._next_refresh_window_ns += self.timing.tREFW
         flat = self._flat_bank(request)
         actions = self.mitigation.on_activation(flat, row, act_start)
+        observer = self.observer
         for action in actions:
             if isinstance(action, PreventiveRefresh):
+                if observer is not None:
+                    victims = tuple(self._victim_rows(
+                        action.aggressor_row, action.victim_offsets))
+                    observer.on_command(MitigationRequest(
+                        action.flat_bank, action.aggressor_row, "refresh",
+                        victims, len(victims), act_start))
                 self._do_preventive_refresh(action)
             elif isinstance(action, RfmCommand):
+                if observer is not None:
+                    observer.on_command(MitigationRequest(
+                        action.flat_bank, -1, "rfm", (),
+                        action.victim_rows, act_start))
                 self._do_rfm(action)
             elif isinstance(action, MetadataAccess):
                 self._do_metadata(action)
@@ -248,10 +298,14 @@ class MemoryController:
         bank = self.banks[action.flat_bank]
         start = max(bank.ready_ns, self.now_ns)
         duration = 0.0
+        observer = self.observer
         for victim in self._victim_rows(action.aggressor_row,
                                         action.victim_offsets):
             tras_ns, full = self.policy.preventive_tras_ns(
                 action.flat_bank, victim, start)
+            if observer is not None:
+                observer.on_command(PreventiveRefreshCmd(
+                    action.flat_bank, victim, start + duration, tras_ns, full))
             duration += tras_ns + self.timing.tRP
             self.energy.add_preventive_refresh(1, tras_ns)
             self.stats.preventive_refresh_rows += 1
@@ -266,9 +320,13 @@ class MemoryController:
         bank = self.banks[action.flat_bank]
         start = max(bank.ready_ns, self.now_ns)
         duration = 0.0
+        observer = self.observer
         for _ in range(action.victim_rows):
             tras_ns, full = self.policy.preventive_tras_ns(
                 action.flat_bank, -1, start)
+            if observer is not None:
+                observer.on_command(PreventiveRefreshCmd(
+                    action.flat_bank, -1, start + duration, tras_ns, full))
             duration += tras_ns + self.timing.tRP
             self.energy.add_preventive_refresh(1, tras_ns)
             self.stats.preventive_refresh_rows += 1
@@ -288,6 +346,9 @@ class MemoryController:
         start = max(bank.ready_ns, self.now_ns)
         per_access = timing.tRP + timing.tRCD + timing.tCL + timing.tBL
         total = (action.reads + action.writes) * per_access
+        if self.observer is not None:
+            self.observer.on_command(MetadataCmd(
+                action.flat_bank, start, total, action.reads, action.writes))
         bank.occupy(start, total)
         bank.open_row = None
         self.stats.metadata_reads += action.reads
@@ -303,23 +364,30 @@ class MemoryController:
         return max(1, round(rows))
 
     def _apply_periodic_refresh(self, up_to_ns: float) -> None:
-        timing = self.timing
         for rank_index, rank in enumerate(self.ranks):
             while rank.next_refresh_ns <= up_to_ns:
-                # The policy is consulted per REF command (Appendix B's
-                # window counter advances with each one).
-                scale = self.policy.periodic_refresh_scale()
-                trfc = timing.tRFC * scale
-                start = rank.next_refresh_ns
-                for bank in self._banks_of_rank(rank_index):
-                    busy_from = max(bank.ready_ns, start)
-                    bank.ready_ns = busy_from + trfc
-                    bank.refresh_busy_ns += trfc
-                    bank.open_row = None
-                    self.energy.add_periodic_refresh(
-                        self._rows_per_periodic_refresh, timing.tRAS * scale)
-                self.stats.periodic_refreshes += 1
-                rank.next_refresh_ns += timing.tREFI
+                self._apply_one_refresh(rank_index, rank,
+                                        rank.next_refresh_ns)
+                rank.next_refresh_ns += self.timing.tREFI
+
+    def _apply_one_refresh(self, rank_index: int, rank: RankTimeline,
+                           start: float) -> None:
+        """Execute one all-bank REF command on ``rank`` at ``start``."""
+        timing = self.timing
+        # The policy is consulted per REF command (Appendix B's window
+        # counter advances with each one).
+        scale = self.policy.periodic_refresh_scale()
+        trfc = timing.tRFC * scale
+        if self.observer is not None:
+            self.observer.on_command(RefCommand(rank_index, start, trfc))
+        for bank in self._banks_of_rank(rank_index):
+            busy_from = max(bank.ready_ns, start)
+            bank.ready_ns = busy_from + trfc
+            bank.refresh_busy_ns += trfc
+            bank.open_row = None
+            self.energy.add_periodic_refresh(
+                self._rows_per_periodic_refresh, timing.tRAS * scale)
+        self.stats.periodic_refreshes += 1
 
     def _banks_of_rank(self, rank_index: int) -> list[BankTimeline]:
         per_rank = self.config.banks_per_rank

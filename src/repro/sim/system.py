@@ -2,12 +2,13 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.errors import SimulationError
 from repro.mitigations.base import MitigationMechanism
 from repro.sim.addrmap import AddressMapper
 from repro.sim.config import SystemConfig
+from repro.sim.commands import CommandObserver
 from repro.sim.controller import MemoryController, RefreshLatencyPolicy
 from repro.sim.core import CoreModel
 from repro.sim.stats import ControllerStats, CoreStats, LatencySummary
@@ -25,6 +26,9 @@ class SimulationResult:
     energy_nj: float
     energy_breakdown: dict[str, float]
     read_latency: LatencySummary
+    #: Protocol violations observed by an attached checker (empty when the
+    #: run was unchecked or clean); filled in by the run orchestration.
+    protocol_violations: list = field(default_factory=list)
 
     @property
     def ipc(self) -> dict[int, float]:
@@ -49,7 +53,8 @@ class MemorySystem:
 
     def __init__(self, config: SystemConfig, traces: list[Trace], *,
                  mitigation: MitigationMechanism | None = None,
-                 policy: RefreshLatencyPolicy | None = None) -> None:
+                 policy: RefreshLatencyPolicy | None = None,
+                 observer: CommandObserver | None = None) -> None:
         if not traces:
             raise SimulationError("need at least one workload trace")
         if len(traces) > config.num_cores:
@@ -57,7 +62,8 @@ class MemorySystem:
                 f"{len(traces)} traces for {config.num_cores} cores")
         self.config = config
         self.mapper = AddressMapper(config)
-        self.controller = MemoryController(config, mitigation, policy)
+        self.controller = MemoryController(config, mitigation, policy,
+                                           observer)
         self.cores = [
             CoreModel(i, trace, config, self.mapper,
                       address_offset=i * self.CORE_ADDRESS_STRIDE)
@@ -111,6 +117,8 @@ class MemorySystem:
         elapsed = max(s.elapsed_ns for s in core_stats)
         if elapsed <= 0:
             raise SimulationError("zero elapsed time")
+        if controller.observer is not None:
+            controller.observer.finalize(elapsed)
         controller.energy.finalize_background(elapsed)
         energy = controller.energy
         breakdown = {

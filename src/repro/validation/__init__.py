@@ -1,0 +1,64 @@
+"""Runtime validation: protocol checking, physics guards, fault injection.
+
+Three pillars (see ``README.md`` — "Validating a run"):
+
+* :class:`ProtocolChecker` — an observer on the memory controller's command
+  stream that re-validates JEDEC timings, refresh deadlines, and PaCRAM's
+  N_PCR envelope while a simulation runs (:mod:`repro.validation.checker`);
+* physics guards and model-drift digests for the device model
+  (:mod:`repro.validation.physics`);
+* a deterministic fault injector with a mutation-testing matrix proving
+  every fault class is detected or absorbed
+  (:mod:`repro.validation.faults`, :mod:`repro.validation.matrix`).
+
+The process-wide default check mode lets the CLI turn checking on for every
+simulation a command starts without threading a flag through each call
+site; library callers normally pass ``check_protocol=`` explicitly.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+from repro.validation.checker import (
+    CHECK_MODES,
+    EPSILON_NS,
+    ProtocolChecker,
+    Violation,
+    make_checker,
+)
+from repro.validation.physics import (
+    MODEL_VERSION,
+    check_physics,
+    model_digest,
+    physics_problems,
+)
+
+__all__ = [
+    "CHECK_MODES",
+    "EPSILON_NS",
+    "MODEL_VERSION",
+    "ProtocolChecker",
+    "Violation",
+    "check_physics",
+    "default_check_mode",
+    "make_checker",
+    "model_digest",
+    "physics_problems",
+    "set_default_check_mode",
+]
+
+_default_mode = "off"
+
+
+def set_default_check_mode(mode: str) -> None:
+    """Set the process-wide default ``--check-protocol`` mode."""
+    if mode not in CHECK_MODES:
+        raise ConfigError(
+            f"check-protocol mode must be one of {CHECK_MODES}, got {mode!r}")
+    global _default_mode
+    _default_mode = mode
+
+
+def default_check_mode() -> str:
+    """The mode simulations use when ``check_protocol`` is not passed."""
+    return _default_mode

@@ -121,3 +121,42 @@ class TestAttackTraces:
             double_sided_trace(config, victim_row=0)
         with pytest.raises(ConfigError):
             many_sided_trace(config, aggressor_rows=1)
+
+
+class TestConfigRejection:
+    def test_unknown_key_names_nearest_match(self, tmp_path):
+        path = tmp_path / "eval.json"
+        path.write_text('{"nrh_valeus": [128]}')
+        with pytest.raises(ConfigError, match="did you mean 'nrh_values'"):
+            EvaluationConfig.load(path)
+
+    def test_unknown_key_without_close_match(self):
+        with pytest.raises(ConfigError, match="unknown config keys"):
+            EvaluationConfig.from_dict({"frobnicate": 1})
+
+    def test_duplicate_json_key_rejected(self, tmp_path):
+        path = tmp_path / "eval.json"
+        path.write_text('{"requests": 100, "requests": 200}')
+        with pytest.raises(ConfigError, match="duplicate config key"):
+            EvaluationConfig.load(path)
+
+    def test_duplicate_workloads_rejected(self):
+        with pytest.raises(ConfigError, match="duplicate workloads"):
+            EvaluationConfig(workloads=("spec06.mcf", "spec06.mcf"))
+
+    def test_duplicate_mitigations_rejected(self):
+        with pytest.raises(ConfigError, match="duplicate mitigations"):
+            EvaluationConfig(mitigations=("PARA", "PARA"))
+
+    def test_check_protocol_round_trips_into_grid(self, tmp_path):
+        config = EvaluationConfig(workloads=("spec06.mcf",),
+                                  check_protocol="strict")
+        path = tmp_path / "eval.json"
+        config.save(path)
+        loaded = EvaluationConfig.load(path)
+        assert loaded.check_protocol == "strict"
+        assert loaded.sweep_grid().check_protocol == "strict"
+
+    def test_invalid_check_protocol_rejected(self):
+        with pytest.raises(ConfigError, match="check_protocol"):
+            EvaluationConfig(check_protocol="paranoid")

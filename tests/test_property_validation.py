@@ -1,0 +1,33 @@
+"""Property-based test: clean simulations never violate the protocol.
+
+The checker models the DDR state machine independently of the controller;
+any configuration drawn here that produces a violation means one of the two
+models is wrong.  This is the validation subsystem's own soundness check —
+the fault matrix proves violations *are* raised when faults exist, this
+proves they are *not* raised when none do.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.runner import pacram_reference_config, run_simulation
+
+MITIGATIONS = ("None", "PARA", "RFM", "PRAC", "Hydra", "Graphene")
+VENDORS = (None, "H", "M", "S")
+
+
+@settings(max_examples=12, deadline=None)
+@given(
+    mitigation=st.sampled_from(MITIGATIONS),
+    nrh=st.sampled_from((64, 128, 512, 1024)),
+    vendor=st.sampled_from(VENDORS),
+    requests=st.integers(min_value=200, max_value=600),
+    seed=st.integers(min_value=0, max_value=2 ** 16),
+)
+def test_clean_runs_have_zero_violations(mitigation, nrh, vendor,
+                                         requests, seed):
+    pacram = pacram_reference_config(vendor) if vendor else None
+    result = run_simulation(
+        ("spec06.mcf",), mitigation=mitigation, nrh=nrh, pacram=pacram,
+        requests=requests, seed=seed, check_protocol="tolerant")
+    assert result.protocol_violations == []

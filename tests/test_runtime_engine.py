@@ -224,3 +224,51 @@ class TestTaskPool:
             outputs[jobs] = (results,
                              {t.path.name: t.path.read_bytes() for t in tasks})
         assert outputs[1] == outputs[2]
+
+
+class TestLedgerCapAndTiming:
+    def test_records_carry_attempt_and_monotonic_elapsed(self, tmp_path):
+        path = tmp_path / "r.json"
+        task = Task(key="flaky", path=path, fn=_flaky_square,
+                    args=(str(tmp_path / "calls"), 2, 6, str(path)))
+        pool = TaskPool(jobs=1, max_attempts=3, backoff_s=0,
+                        ledger_path=tmp_path / "errors.jsonl",
+                        sleep=lambda s: None)
+        pool.run([task], loader=_load_square)
+        ledger = [json.loads(line) for line in
+                  (tmp_path / "errors.jsonl").read_text().splitlines()]
+        assert [r["attempt"] for r in ledger] == [1, 2]
+        elapsed = [r["elapsed_s"] for r in ledger]
+        assert all(e >= 0 for e in elapsed)
+        assert elapsed == sorted(elapsed)  # monotonic within the run
+
+    def test_ledger_rotates_oldest_first(self, tmp_path):
+        ledger_path = tmp_path / "errors.jsonl"
+        bad_path = tmp_path / "bad.json"
+        task = Task(key="bad", path=bad_path, fn=_always_fail,
+                    args=(str(bad_path),))
+        pool = TaskPool(jobs=1, max_attempts=8, backoff_s=0,
+                        sleep=lambda s: None, ledger_path=ledger_path,
+                        ledger_max_bytes=400)
+        with pytest.raises(ExecutionError):
+            pool.run([task], loader=_load_square)
+        assert ledger_path.stat().st_size <= 400
+        ledger = [json.loads(line) for line in
+                  ledger_path.read_text().splitlines()]
+        # The newest records survive; the oldest attempts were evicted.
+        assert ledger
+        assert ledger[-1]["action"] == "abandoned"
+        assert ledger[0]["attempt"] > 1
+        assert len(ledger) < 9  # 8 attempts + abandoned were written
+
+    def test_oversized_single_record_kept(self, tmp_path):
+        ledger_path = tmp_path / "errors.jsonl"
+        pool = TaskPool(jobs=1, ledger_path=ledger_path, ledger_max_bytes=10)
+        pool._record("key", 1, "x" * 100, action="attempt")
+        ledger = [json.loads(line) for line in
+                  ledger_path.read_text().splitlines()]
+        assert len(ledger) == 1  # never trimmed to an empty ledger
+
+    def test_invalid_cap_rejected(self):
+        with pytest.raises(ConfigError):
+            TaskPool(ledger_max_bytes=0)

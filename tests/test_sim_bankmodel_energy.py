@@ -3,7 +3,12 @@
 import pytest
 
 from repro.errors import SimulationError
-from repro.sim.bankmodel import BankTimeline, ChannelTimeline, RankTimeline
+from repro.sim.bankmodel import (
+    OCCUPY_EPSILON_NS,
+    BankTimeline,
+    ChannelTimeline,
+    RankTimeline,
+)
 from repro.sim.energy import EnergyModel
 
 
@@ -40,6 +45,21 @@ class TestBankTimeline:
     def test_negative_duration_rejected(self):
         with pytest.raises(SimulationError):
             BankTimeline().occupy(0.0, -1.0)
+
+    def test_occupy_boundary_tolerates_float_roundoff(self):
+        # Analytic timing accumulates float error; a start a hair before
+        # ready_ns must clamp to ready_ns, not abort the simulation.
+        bank = BankTimeline()
+        bank.occupy(0.0, 100.0)
+        end = bank.occupy(100.0 - OCCUPY_EPSILON_NS / 2, 10.0)
+        assert end == 110.0
+        assert bank.ready_ns == 110.0
+
+    def test_occupy_beyond_epsilon_still_rejected(self):
+        bank = BankTimeline()
+        bank.occupy(0.0, 100.0)
+        with pytest.raises(SimulationError):
+            bank.occupy(100.0 - 10 * OCCUPY_EPSILON_NS, 10.0)
 
 
 class TestRankTimeline:

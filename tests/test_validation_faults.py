@@ -1,0 +1,53 @@
+"""Tests for the fault-injection scenarios and the mutation matrix."""
+
+import json
+
+from repro.validation.faults import (
+    ABSORBED,
+    ALL_FAULTS,
+    DETECTED,
+    DroppedPreventiveRefresh,
+    PartialRestorationBurst,
+)
+from repro.validation.matrix import run_matrix
+
+
+class TestMatrix:
+    def test_every_fault_detected_or_absorbed(self, tmp_path):
+        report = run_matrix(tmp_path, seed=2025)
+        failures = report.failures()
+        assert report.all_covered, "\n" + report.summary()
+        assert not failures
+        assert len(report.results) == len(ALL_FAULTS)
+
+    def test_matrix_report_round_trips(self, tmp_path):
+        report = run_matrix(tmp_path / "run", seed=2025)
+        out = tmp_path / "matrix.json"
+        report.save(out)
+        payload = json.loads(out.read_text())
+        assert payload["all_covered"] is True
+        assert payload["seed"] == 2025
+        statuses = {r["fault"]: r["status"] for r in payload["results"]}
+        assert statuses["partial-restoration-burst"] == ABSORBED
+        assert all(status in (DETECTED, ABSORBED)
+                   for status in statuses.values())
+        assert "all covered" in report.summary()
+
+    def test_expected_statuses_declared(self):
+        names = [scenario.name for scenario in ALL_FAULTS]
+        assert len(set(names)) == len(names)
+        absorbed = [s.name for s in ALL_FAULTS if s.expected == ABSORBED]
+        assert absorbed == ["partial-restoration-burst"]
+
+
+class TestDeterminism:
+    def test_same_seed_same_result(self, tmp_path):
+        scenario = DroppedPreventiveRefresh()
+        first = scenario.run(tmp_path / "a", seed=7)
+        second = scenario.run(tmp_path / "b", seed=7)
+        assert first == second  # includes the violation-count evidence
+
+    def test_absorbed_scenario_reports_streak_bound(self, tmp_path):
+        result = PartialRestorationBurst().run(tmp_path, seed=7)
+        assert result.ok
+        assert "N_PCR" in result.evidence

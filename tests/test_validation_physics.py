@@ -1,0 +1,67 @@
+"""Tests for physics invariant guards and model-drift digests."""
+
+import dataclasses
+
+import pytest
+
+from repro.dram import vendor
+from repro.dram.catalog import all_module_ids, module_spec
+from repro.dram.charge import ChargeModel
+from repro.errors import ProtocolViolation
+from repro.validation import (
+    MODEL_VERSION,
+    check_physics,
+    model_digest,
+    physics_problems,
+)
+
+
+class TestInvariants:
+    def test_every_catalog_module_is_clean(self):
+        for module_id in all_module_ids():
+            assert physics_problems(module_id) == [], module_id
+
+    def test_strict_mode_silent_on_clean_module(self):
+        assert check_physics("H5", mode="strict") == []
+
+    def test_poisoned_margin_anchor_flagged(self):
+        model = ChargeModel(module_spec("H5"))
+        # Copy before poisoning: the anchors are shared calibration tables.
+        model._margin_anchors = {**model._margin_anchors, 0.45: 1.3}
+        problems = model.check_invariants()
+        assert problems
+        assert any("margin" in problem for problem in problems)
+
+    def test_strict_mode_raises_on_problems(self, monkeypatch):
+        monkeypatch.setattr(ChargeModel, "check_invariants",
+                            lambda self: ["synthetic problem"])
+        with pytest.raises(ProtocolViolation) as excinfo:
+            check_physics("H5", mode="strict")
+        assert excinfo.value.rule == "physics.invariant"
+        assert check_physics("H5", mode="tolerant") == ["synthetic problem"]
+
+
+class TestModelDigest:
+    def test_digest_is_stable(self):
+        assert model_digest("H5") == model_digest("H5")
+        assert len(model_digest("H5")) == 64
+
+    def test_digest_separates_modules_and_seeds(self):
+        assert model_digest("H5") != model_digest("M2")
+        assert model_digest("H5", seed=1) != model_digest("H5", seed=2)
+        assert model_digest("H5", seed=None) != model_digest("H5", seed=1)
+
+    def test_digest_tracks_vendor_calibration(self):
+        before = model_digest("H5")
+        manufacturer = vendor.Manufacturer.H
+        original = vendor._PROFILES[manufacturer]
+        vendor._PROFILES[manufacturer] = dataclasses.replace(
+            original, ber_growth_exponent=original.ber_growth_exponent + 0.1)
+        try:
+            assert model_digest("H5") != before
+        finally:
+            vendor._PROFILES[manufacturer] = original
+        assert model_digest("H5") == before
+
+    def test_model_version_is_folded_in(self):
+        assert MODEL_VERSION >= 1
