@@ -1,0 +1,62 @@
+"""Scalar vs. vectorized characterization kernels (ISSUE 3 tentpole).
+
+Runs the same characterization grid through both device kernels and
+records throughput (measured row-points per second), the vectorized
+kernel's model-evaluation counters, and the probe-memo hit rate into
+``bench_results/characterization_scaling.txt``.
+
+Two contracts are asserted, not just reported:
+
+* the kernels produce bit-identical measurements (the scalar path is the
+  parity oracle);
+* the vectorized kernel is at least 10x faster on this grid.
+"""
+
+import time
+
+from bench_util import run_once, save_result
+
+from repro.characterization.sweeps import characterize_module
+from repro.dram.kernels import EvalCounters
+
+#: One vendor module, three latency points (nominal is always added),
+#: 3 x 128 sampled rows — small enough for CI, large enough that the
+#: vectorized kernel's fixed setup cost is amortized.
+_GRID = dict(tras_factors=(0.45, 0.27), n_prs=(1,), per_region=128, seed=7)
+_MODULE = "H5"
+
+
+def _run_both_kernels():
+    started = time.perf_counter()
+    scalar = characterize_module(_MODULE, kernel="scalar", **_GRID)
+    scalar_s = time.perf_counter() - started
+    counters = EvalCounters()
+    started = time.perf_counter()
+    vectorized = characterize_module(_MODULE, kernel="vectorized",
+                                     counters=counters, **_GRID)
+    vectorized_s = time.perf_counter() - started
+    return scalar, scalar_s, vectorized, vectorized_s, counters
+
+
+def bench_characterization_scaling(benchmark):
+    scalar, scalar_s, vectorized, vectorized_s, counters = run_once(
+        benchmark, _run_both_kernels)
+    # Parity first: a fast path that changes results is not a fast path.
+    assert scalar.to_json() == vectorized.to_json()
+    points = len(scalar.measurements)
+    rows = len({m.row for m in scalar.measurements})
+    speedup = scalar_s / vectorized_s if vectorized_s > 0 else float("inf")
+    probes = counters.cache_hits + counters.model_evals
+    hit_rate = counters.cache_hits / probes if probes else 0.0
+    text = (
+        f"grid: {_MODULE}, {rows} rows, {points} row-points\n"
+        f"scalar kernel:     {scalar_s:.2f}s  "
+        f"({points / scalar_s:.0f} row-points/s)\n"
+        f"vectorized kernel: {vectorized_s:.2f}s  "
+        f"({points / vectorized_s:.0f} row-points/s)\n"
+        f"speedup: {speedup:.1f}x\n"
+        f"model evals/row-point: "
+        f"{counters.evals_per_row_point(1, points):.1f}\n"
+        f"probe-memo hit rate: {hit_rate:.2f}")
+    save_result("characterization_scaling", text)
+    assert speedup >= 10.0, f"vectorized kernel only {speedup:.1f}x faster"

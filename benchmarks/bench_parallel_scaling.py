@@ -45,13 +45,22 @@ def bench_parallel_scaling(benchmark):
     timings = run_once(benchmark, _run_all_job_counts)
     serial_elapsed, serial_rows = timings[1]
     points = len(_scaling_grid().points())
-    lines = [f"grid: {points} points, cores on this machine: "
-             f"{os.cpu_count()}"]
+    cores = os.cpu_count() or 1
+    lines = [f"grid: {points} points, cores on this machine: {cores}"]
+    if cores == 1:
+        # A speedup figure measured on one core is noise, not scaling —
+        # parallel jobs only pay process overhead here.  Record the
+        # timings without a speedup claim.
+        lines.append("single-core machine: scaling is not measurable; "
+                     "timings below carry no speedup claim")
     for jobs in _JOBS:
         elapsed, rows = timings[jobs]
-        speedup = serial_elapsed / elapsed if elapsed > 0 else float("inf")
-        lines.append(f"jobs={jobs}: {elapsed:.2f}s  "
-                     f"speedup over jobs=1: {speedup:.2f}x")
+        if cores == 1:
+            lines.append(f"jobs={jobs}: {elapsed:.2f}s  (unscalable here)")
+        else:
+            speedup = serial_elapsed / elapsed if elapsed > 0 else float("inf")
+            lines.append(f"jobs={jobs}: {elapsed:.2f}s  "
+                         f"speedup over jobs=1: {speedup:.2f}x")
         # The contract that matters everywhere: parallel output is
         # bit-identical to the serial run.
         assert rows == serial_rows

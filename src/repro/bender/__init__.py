@@ -18,11 +18,13 @@ a target temperature.  This package reproduces that stack in software:
 from repro.bender.isa import Act, Pre, ReadRow, Sleep, SleepUntil, WriteRow
 from repro.bender.program import TestProgram
 from repro.bender.executor import ExecutionResult, ProgramExecutor
+from repro.bender.compile import CompiledProgram, DoseSummary, compile_program, run_compiled
 from repro.bender.temperature import PIDTemperatureController
-from repro.bender.host import DRAMBenderHost
+from repro.bender.host import DRAMBenderHost, EXECUTION_KERNELS
 
 __all__ = [
     "Act", "Pre", "ReadRow", "Sleep", "SleepUntil", "WriteRow",
     "TestProgram", "ExecutionResult", "ProgramExecutor",
-    "PIDTemperatureController", "DRAMBenderHost",
+    "CompiledProgram", "DoseSummary", "compile_program", "run_compiled",
+    "PIDTemperatureController", "DRAMBenderHost", "EXECUTION_KERNELS",
 ]

@@ -4,6 +4,11 @@ The executor enforces the command-protocol invariants a real memory
 controller/FPGA would (no ACT to an open bank, PRE only on an open bank) and
 keeps the program clock, so characterization code can rely on the
 "runtime must not exceed the refresh window" discipline of §4.1.
+
+Instruction dispatch is a dict keyed on the instruction type (one hash
+lookup per instruction) rather than an ``isinstance`` chain; the table is
+shared by this instruction-stepping executor and the analytic compiler in
+:mod:`repro.bender.compile`.
 """
 
 from __future__ import annotations
@@ -35,8 +40,19 @@ class ExecutionResult:
     instructions_executed: int = 0
 
     def flips(self, key: str) -> int:
-        """Bitflip count recorded under ``key`` (KeyError if never read)."""
-        return self.bitflips[key]
+        """Bitflip count recorded under ``key``.
+
+        Raises :class:`~repro.errors.ProgramError` naming the missing key
+        and listing what *was* recorded, so a typo'd key fails with an
+        actionable message instead of a bare ``KeyError``.
+        """
+        try:
+            return self.bitflips[key]
+        except KeyError:
+            recorded = ", ".join(sorted(self.bitflips)) or "<none>"
+            raise ProgramError(
+                f"no bitflip count recorded under key {key!r} "
+                f"(recorded keys: {recorded})") from None
 
 
 class ProgramExecutor:
@@ -44,6 +60,16 @@ class ProgramExecutor:
 
     def __init__(self, module: DRAMModule) -> None:
         self.module = module
+        self._handlers = {
+            Act: self._act,
+            Pre: self._pre,
+            WriteRow: self._write_row,
+            ReadRow: self._read_row,
+            Sleep: self._sleep,
+            SleepUntil: self._sleep_until,
+            Hammer: self._hammer,
+            Restore: self._restore,
+        }
 
     def execute(self, program: TestProgram) -> ExecutionResult:
         """Execute every instruction, returning recorded bitflip counts.
@@ -56,8 +82,12 @@ class ProgramExecutor:
         module.clock_ns = 0.0
         result = ExecutionResult()
         open_row: dict[int, tuple[int, float]] = {}  # bank -> (row, act wait)
+        handlers = self._handlers
         for index, inst in enumerate(program):
-            self._dispatch(inst, module, open_row, result, index)
+            handler = handlers.get(type(inst))
+            if handler is None:  # pragma: no cover - exhaustive over the ISA
+                raise ProgramError(f"[{index}] unknown instruction {inst!r}")
+            handler(inst, open_row, result, index)
             result.instructions_executed += 1
         if open_row:
             banks = sorted(open_row)
@@ -66,41 +96,54 @@ class ProgramExecutor:
         return result
 
     # ------------------------------------------------------------------
-    def _dispatch(self, inst: Instruction, module: DRAMModule,
-                  open_row: dict[int, tuple[int, float]],
+    # per-opcode handlers
+    # ------------------------------------------------------------------
+    def _act(self, inst: Act, open_row: dict[int, tuple[int, float]],
+             result: ExecutionResult, index: int) -> None:
+        if inst.bank in open_row:
+            raise ProgramError(f"[{index}] ACT to open bank {inst.bank}")
+        open_row[inst.bank] = (inst.row, inst.wait_ns)
+
+    def _pre(self, inst: Pre, open_row: dict[int, tuple[int, float]],
+             result: ExecutionResult, index: int) -> None:
+        if inst.bank not in open_row:
+            raise ProgramError(f"[{index}] PRE on closed bank {inst.bank}")
+        row, act_wait = open_row.pop(inst.bank)
+        # The ACT wait is the charge-restoration time actually granted.
+        self.module.activate(inst.bank, row, tras_ns=act_wait)
+
+    def _write_row(self, inst: WriteRow, open_row: dict[int, tuple[int, float]],
+                   result: ExecutionResult, index: int) -> None:
+        self._require_closed(inst.bank, open_row, index)
+        self.module.write_row(inst.bank, inst.row, inst.pattern)
+
+    def _read_row(self, inst: ReadRow, open_row: dict[int, tuple[int, float]],
                   result: ExecutionResult, index: int) -> None:
-        if isinstance(inst, Act):
-            if inst.bank in open_row:
-                raise ProgramError(
-                    f"[{index}] ACT to open bank {inst.bank}")
-            open_row[inst.bank] = (inst.row, inst.wait_ns)
-        elif isinstance(inst, Pre):
-            if inst.bank not in open_row:
-                raise ProgramError(
-                    f"[{index}] PRE on closed bank {inst.bank}")
-            row, act_wait = open_row.pop(inst.bank)
-            # The ACT wait is the charge-restoration time actually granted.
-            module.activate(inst.bank, row, tras_ns=act_wait)
-        elif isinstance(inst, WriteRow):
-            self._require_closed(inst.bank, open_row, index)
-            module.write_row(inst.bank, inst.row, inst.pattern)
-        elif isinstance(inst, ReadRow):
-            self._require_closed(inst.bank, open_row, index)
-            result.bitflips[inst.key] = module.read_row_bitflips(
-                inst.bank, inst.row)
-        elif isinstance(inst, Sleep):
-            module.elapse(inst.duration_ns)
-        elif isinstance(inst, SleepUntil):
-            if module.clock_ns < inst.target_ns:
-                module.elapse(inst.target_ns - module.clock_ns)
-        elif isinstance(inst, Hammer):
-            self._require_closed(inst.bank, open_row, index)
-            module.hammer(inst.bank, inst.rows, inst.count)
-        elif isinstance(inst, Restore):
-            self._require_closed(inst.bank, open_row, index)
-            module.partial_restore(inst.bank, inst.row, inst.tras_ns, inst.count)
-        else:  # pragma: no cover - exhaustive over the ISA
-            raise ProgramError(f"[{index}] unknown instruction {inst!r}")
+        self._require_closed(inst.bank, open_row, index)
+        result.bitflips[inst.key] = self.module.read_row_bitflips(
+            inst.bank, inst.row)
+
+    def _sleep(self, inst: Sleep, open_row: dict[int, tuple[int, float]],
+               result: ExecutionResult, index: int) -> None:
+        self.module.elapse(inst.duration_ns)
+
+    def _sleep_until(self, inst: SleepUntil,
+                     open_row: dict[int, tuple[int, float]],
+                     result: ExecutionResult, index: int) -> None:
+        module = self.module
+        if module.clock_ns < inst.target_ns:
+            module.elapse(inst.target_ns - module.clock_ns)
+
+    def _hammer(self, inst: Hammer, open_row: dict[int, tuple[int, float]],
+                result: ExecutionResult, index: int) -> None:
+        self._require_closed(inst.bank, open_row, index)
+        self.module.hammer(inst.bank, inst.rows, inst.count)
+
+    def _restore(self, inst: Restore, open_row: dict[int, tuple[int, float]],
+                 result: ExecutionResult, index: int) -> None:
+        self._require_closed(inst.bank, open_row, index)
+        self.module.partial_restore(inst.bank, inst.row, inst.tras_ns,
+                                    inst.count)
 
     @staticmethod
     def _require_closed(bank: int, open_row: dict[int, tuple[int, float]],

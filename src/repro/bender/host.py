@@ -8,20 +8,33 @@ and PID controller.
 
 from __future__ import annotations
 
+from repro.bender.compile import run_compiled
 from repro.bender.executor import ExecutionResult, ProgramExecutor
 from repro.bender.program import TestProgram
 from repro.bender.temperature import PIDTemperatureController
 from repro.dram.module import DRAMModule
+from repro.errors import ConfigError
+
+#: Program-execution kernels: ``stepping`` walks every instruction through
+#: the device model (the validation path, observed by ``--check-protocol``);
+#: ``compiled`` folds each program analytically (bit-identical, faster).
+EXECUTION_KERNELS = ("stepping", "compiled")
 
 
 class DRAMBenderHost:
     """Connects a module, runs programs, and regulates temperature."""
 
     def __init__(self, module: DRAMModule | str, *,
-                 temperature_c: float = 80.0, seed: int = 2025) -> None:
+                 temperature_c: float = 80.0, seed: int = 2025,
+                 kernel: str = "stepping") -> None:
+        if kernel not in EXECUTION_KERNELS:
+            raise ConfigError(
+                f"unknown execution kernel {kernel!r} "
+                f"(choose from {', '.join(EXECUTION_KERNELS)})")
         if isinstance(module, str):
             module = DRAMModule(module, seed=seed, temperature_c=temperature_c)
         self.module = module
+        self.kernel = kernel
         self.executor = ProgramExecutor(module)
         self.controller = PIDTemperatureController(setpoint_c=temperature_c)
         self.set_temperature(temperature_c)
@@ -39,6 +52,8 @@ class DRAMBenderHost:
 
     def run(self, program: TestProgram) -> ExecutionResult:
         """Execute a test program on the device under test."""
+        if self.kernel == "compiled":
+            return run_compiled(self.module, program)
         return self.executor.execute(program)
 
     def new_program(self) -> TestProgram:

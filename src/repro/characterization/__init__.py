@@ -16,13 +16,16 @@ from repro.characterization.algorithm1 import (
     measure_row,
     perform_rh,
 )
+from repro.characterization.probecache import ProbeCache
 from repro.characterization.rows import select_test_rows
 from repro.characterization.sweeps import (
+    CHARACTERIZATION_KERNELS,
     characterize_module,
     sweep_npr,
     sweep_temperature,
     sweep_tras,
 )
+from repro.characterization.vectorized import measure_rows
 from repro.characterization.halfdouble import halfdouble_row_fraction
 from repro.characterization.retention import retention_failure_fractions
 
@@ -31,8 +34,11 @@ __all__ = [
     "RowMeasurement",
     "CharacterizationConfig",
     "measure_row",
+    "measure_rows",
     "perform_rh",
+    "ProbeCache",
     "select_test_rows",
+    "CHARACTERIZATION_KERNELS",
     "characterize_module",
     "sweep_tras",
     "sweep_npr",

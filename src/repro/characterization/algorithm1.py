@@ -17,9 +17,11 @@ from dataclasses import dataclass
 
 from repro.bender.host import DRAMBenderHost
 from repro.characterization.bisect import bisect_threshold
+from repro.characterization.probecache import ProbeCache
 from repro.characterization.results import RowMeasurement
 from repro.dram.disturbance import ALL_PATTERNS, DataPattern
 from repro.errors import CharacterizationError
+from repro.validation.physics import model_digest
 
 
 @dataclass(frozen=True)
@@ -51,15 +53,26 @@ def aggressors_of(host: DRAMBenderHost, victim: int) -> tuple[int, ...]:
 
 def perform_rh(host: DRAMBenderHost, bank: int, victim: int,
                pattern: DataPattern, hammer_count: int,
-               tras_red_ns: float, n_pr: int) -> int:
+               tras_red_ns: float, n_pr: int,
+               cache: ProbeCache | None = None) -> int:
     """One RowHammer test on one victim row; returns the bitflip count.
 
     Follows Algorithm 1's ``perform_RH`` (lines 6-11): init rows, partial
     restoration with ``tras_red_ns`` repeated ``n_pr`` times, double-sided
     hammering at maximum rate, idle until the end of the refresh window
     (to expose retention failures caused by weak restoration), then read.
+
+    The device model is deterministic, so a probe's outcome is fully
+    determined by its coordinates; when a :class:`ProbeCache` is supplied,
+    repeated probes are served from it instead of re-running the program.
     """
     module = host.module
+    if cache is not None:
+        key = (bank, victim, pattern, hammer_count, tras_red_ns, n_pr,
+               module.temperature_c)
+        flips = cache.get(key)
+        if flips is not None:
+            return flips
     aggressors = aggressors_of(host, victim)
     program = host.new_program()
     program.init_rows(bank, victim, aggressors, pattern)
@@ -67,19 +80,23 @@ def perform_rh(host: DRAMBenderHost, bank: int, victim: int,
     program.hammer_doublesided(bank, aggressors, hammer_count)
     program.sleep_until(module.timing.tREFW)
     program.check_bitflips(bank, victim, key="victim")
-    return host.run(program).flips("victim")
+    flips = host.run(program).flips("victim")
+    if cache is not None:
+        cache.put(key, flips)
+    return flips
 
 
 def find_wcdp(host: DRAMBenderHost, bank: int, victim: int,
               tras_red_ns: float, n_pr: int,
-              config: CharacterizationConfig) -> DataPattern:
+              config: CharacterizationConfig,
+              cache: ProbeCache | None = None) -> DataPattern:
     """The data pattern causing the most bitflips at ``hc_high`` hammers
     (Alg. 1 lines 16-19).  Ties resolve to the first pattern tested."""
     best_pattern = config.patterns[0]
     best_flips = -1
     for pattern in config.patterns:
         flips = perform_rh(host, bank, victim, pattern,
-                           config.hc_high, tras_red_ns, n_pr)
+                           config.hc_high, tras_red_ns, n_pr, cache)
         if flips > best_flips:
             best_pattern, best_flips = pattern, flips
     return best_pattern
@@ -87,12 +104,16 @@ def find_wcdp(host: DRAMBenderHost, bank: int, victim: int,
 
 def measure_row(host: DRAMBenderHost, bank: int, victim: int, *,
                 tras_red_ns: float | None = None, n_pr: int = 1,
-                config: CharacterizationConfig | None = None) -> RowMeasurement:
+                config: CharacterizationConfig | None = None,
+                cache: ProbeCache | None = None) -> RowMeasurement:
     """Measure one row's N_RH and BER at one test point (Alg. 1 main loop).
 
     The paper runs five iterations and keeps the lowest N_RH / highest BER;
     the device model is deterministic, so iterations reproduce identical
-    values, but the min/max discipline is preserved.
+    values, but the min/max discipline is preserved.  A :class:`ProbeCache`
+    (created locally when none is passed) memoizes repeated probes; it is
+    re-bound to the module's current calibrated-model digest on every call,
+    so calibration drift empties it rather than serving stale counts.
     """
     config = config or CharacterizationConfig()
     module = host.module
@@ -104,27 +125,30 @@ def measure_row(host: DRAMBenderHost, bank: int, victim: int, *,
             f"tras_red_ns must be in (0, {nominal}], got {tras_red_ns}")
     if n_pr < 1:
         raise CharacterizationError("n_pr must be >= 1")
+    if cache is None:
+        cache = ProbeCache()
+    cache.ensure(model_digest(module.spec.module_id, module.seed))
 
-    wcdp = find_wcdp(host, bank, victim, tras_red_ns, n_pr, config)
+    wcdp = find_wcdp(host, bank, victim, tras_red_ns, n_pr, config, cache)
     cells = module.spec.row_bits()
     best_nrh: int | None = None
     best_ber = 0.0
     for _ in range(config.iterations):
         # BER at the maximum hammer count (Alg. 1 line 20).
         flips = perform_rh(host, bank, victim, wcdp,
-                           config.hc_high, tras_red_ns, n_pr)
+                           config.hc_high, tras_red_ns, n_pr, cache)
         best_ber = max(best_ber, flips / cells)
         # Retention pre-check: bitflips with zero hammers => N_RH = 0
         # (Alg. 1 lines 21-24).
         retention_flips = perform_rh(host, bank, victim, wcdp,
-                                     0, tras_red_ns, n_pr)
+                                     0, tras_red_ns, n_pr, cache)
         if retention_flips > 0:
             best_nrh = 0
             continue
         # Bi-section search (Alg. 1 lines 25-32).
         nrh = bisect_threshold(
             lambda hc: perform_rh(host, bank, victim, wcdp,
-                                  hc, tras_red_ns, n_pr),
+                                  hc, tras_red_ns, n_pr, cache),
             hc_high=config.hc_high, hc_low=config.hc_low,
             hc_step=config.hc_step)
         if nrh is not None and (best_nrh is None or nrh < best_nrh):

@@ -21,7 +21,10 @@ from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.characterization.results import ModuleCharacterization
-from repro.characterization.sweeps import characterize_module
+from repro.characterization.sweeps import (
+    CHARACTERIZATION_KERNELS,
+    characterize_module,
+)
 from repro.dram.catalog import all_module_ids
 from repro.dram.timing import TESTED_TRAS_FACTORS
 from repro.errors import CharacterizationError
@@ -39,12 +42,19 @@ class CampaignConfig:
     temperatures_c: tuple[float, ...] = (80.0,)
     per_region: int = 64
     seed: int = 2025
+    #: Device kernel (see repro.characterization.sweeps); both kernels
+    #: produce bit-identical measurements.
+    kernel: str = "vectorized"
 
     def __post_init__(self) -> None:
         if not self.module_ids:
             raise CharacterizationError("campaign needs at least one module")
         if self.per_region <= 0:
             raise CharacterizationError("per_region must be positive")
+        if self.kernel not in CHARACTERIZATION_KERNELS:
+            raise CharacterizationError(
+                f"unknown characterization kernel {self.kernel!r} "
+                f"(choose from {', '.join(CHARACTERIZATION_KERNELS)})")
 
 
 def _characterize_to(module_id: str, config: CampaignConfig,
@@ -57,7 +67,8 @@ def _characterize_to(module_id: str, config: CampaignConfig,
     result = characterize_module(
         module_id, tras_factors=config.tras_factors,
         n_prs=config.n_prs, temperatures_c=config.temperatures_c,
-        per_region=config.per_region, seed=config.seed)
+        per_region=config.per_region, seed=config.seed,
+        kernel=config.kernel)
     result.save(path)
 
 

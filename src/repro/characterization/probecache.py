@@ -1,0 +1,89 @@
+"""Deterministic probe cache for Algorithm 1 RowHammer tests.
+
+The device model is deterministic: a ``perform_rh`` probe is a pure
+function of the calibrated charge model plus the probe coordinates
+``(bank, victim, pattern, hammer_count, tras_red_ns, n_pr, temperature)``.
+Algorithm 1 re-runs identical probes constantly — five iterations per test
+point, the worst-case-pattern search repeating the ``hc_high`` probe, and
+bisection revisiting hammer counts across iterations — so memoizing them
+is free speedup with zero behavior change.
+
+The cache is bound to a *model digest* (:func:`repro.validation.physics.
+model_digest`), which hashes the module's calibrated spec, vendor charge
+profile, anchor curves, and retention parameters.  :meth:`ensure` compares
+the current digest against the bound one and drops every entry when they
+differ, so recalibration (or any drift in the physics tables) can never
+serve stale flip counts.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+#: Probe key: (bank, victim, pattern, hammer_count, tras_red_ns, n_pr,
+#: temperature_c).  Everything a probe's outcome depends on besides the
+#: calibrated model itself (which the digest covers).
+ProbeKey = tuple
+
+#: Default entry bound.  A full-bank sweep probes ~15 points per row per
+#: test point; 2^18 entries hold several banks' worth of sweeps.
+DEFAULT_MAXSIZE = 1 << 18
+
+
+class ProbeCache:
+    """Bounded LRU memo of ``perform_rh`` outcomes, keyed by probe
+    coordinates and bound to a calibrated-model digest."""
+
+    def __init__(self, maxsize: int = DEFAULT_MAXSIZE) -> None:
+        if maxsize < 1:
+            raise ValueError(f"maxsize must be >= 1, got {maxsize}")
+        self.maxsize = maxsize
+        self.digest: str | None = None
+        self._entries: OrderedDict[ProbeKey, int] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def ensure(self, digest: str) -> None:
+        """Bind the cache to ``digest``, clearing it on calibration drift."""
+        if self.digest == digest:
+            return
+        if self.digest is not None:
+            self.invalidations += 1
+        self._entries.clear()
+        self.digest = digest
+
+    def get(self, key: ProbeKey) -> int | None:
+        """Cached flip count for ``key``, or ``None`` on a miss."""
+        entries = self._entries
+        try:
+            value = entries[key]
+        except KeyError:
+            self.misses += 1
+            return None
+        entries.move_to_end(key)
+        self.hits += 1
+        return value
+
+    def put(self, key: ProbeKey, flips: int) -> None:
+        entries = self._entries
+        entries[key] = flips
+        entries.move_to_end(key)
+        if len(entries) > self.maxsize:
+            entries.popitem(last=False)
+
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> dict[str, float]:
+        return {
+            "entries": len(self._entries),
+            "hits": self.hits,
+            "misses": self.misses,
+            "invalidations": self.invalidations,
+            "hit_rate": self.hit_rate(),
+        }

@@ -1,18 +1,30 @@
 """Characterization campaigns: the sweeps behind Figs. 6-12.
 
-Every sweep is a thin loop over :func:`~repro.characterization.algorithm1.
-measure_row`, so what runs here is exactly the paper's Algorithm 1 executed
-at many test points.  The full-scale paper campaign (3K rows x 7 latencies x
-many restoration counts x 3 temperatures x 30 modules) is supported but
-slow; callers pick the scale through ``per_region`` and the swept values.
+Every sweep runs exactly the paper's Algorithm 1 at many test points,
+through one of two device kernels:
+
+* ``vectorized`` (default) — :func:`~repro.characterization.vectorized.
+  measure_rows` measures the whole row batch per test point through the
+  bank-level kernels;
+* ``scalar`` — a thin loop over :func:`~repro.characterization.algorithm1.
+  measure_row` with a shared :class:`ProbeCache`, the parity oracle for the
+  fast path.
+
+Both kernels produce bit-identical results (the parity suite asserts it).
+The full-scale paper campaign (3K rows x 7 latencies x many restoration
+counts x 3 temperatures x 30 modules) is supported but slow; callers pick
+the scale through ``per_region`` and the swept values.
 """
 
 from __future__ import annotations
 
 from repro.bender.host import DRAMBenderHost
 from repro.characterization.algorithm1 import CharacterizationConfig, measure_row
+from repro.characterization.probecache import ProbeCache
 from repro.characterization.results import ModuleCharacterization
 from repro.characterization.rows import select_test_bank, select_test_rows
+from repro.characterization.vectorized import measure_rows
+from repro.dram.kernels import EvalCounters
 from repro.dram.timing import TESTED_TRAS_FACTORS
 from repro.errors import CharacterizationError
 from repro.validation.physics import model_digest
@@ -21,6 +33,9 @@ from repro.validation.physics import model_digest
 #: is deterministic (the paper's five iterations guard against run-to-run
 #: noise on real hardware).
 _SWEEP_CONFIG = CharacterizationConfig(iterations=1)
+
+#: Device kernels for characterization sweeps.
+CHARACTERIZATION_KERNELS = ("scalar", "vectorized")
 
 
 def characterize_module(module_id: str, *,
@@ -31,6 +46,8 @@ def characterize_module(module_id: str, *,
                         rows: tuple[int, ...] | None = None,
                         seed: int = 2025,
                         config: CharacterizationConfig | None = None,
+                        kernel: str = "vectorized",
+                        counters: EvalCounters | None = None,
                         ) -> ModuleCharacterization:
     """Run the main test loop on one module across all requested test points.
 
@@ -38,9 +55,17 @@ def characterize_module(module_id: str, *,
     region; the default here keeps a laptop-scale run while spanning the
     same three bank regions).  The nominal-latency, single-restoration
     baseline is always measured so results can be normalized.
+
+    ``kernel`` selects the device kernel (see module docstring); results
+    are bit-identical either way, including measurement order.  Pass an
+    :class:`EvalCounters` to observe the vectorized kernel's model work.
     """
     if not tras_factors:
         raise CharacterizationError("need at least one tRAS factor")
+    if kernel not in CHARACTERIZATION_KERNELS:
+        raise CharacterizationError(
+            f"unknown characterization kernel {kernel!r} "
+            f"(choose from {', '.join(CHARACTERIZATION_KERNELS)})")
     config = config or _SWEEP_CONFIG
     host = DRAMBenderHost(module_id, temperature_c=temperatures_c[0], seed=seed)
     module = host.module
@@ -56,15 +81,31 @@ def characterize_module(module_id: str, *,
     result = ModuleCharacterization(module_id=module_id, seed=seed,
                                     model_digest=model_digest(module_id, seed))
     nominal = module.timing.tRAS
+    cache = ProbeCache() if kernel == "scalar" else None
     for temperature in temperatures_c:
         host.set_temperature(temperature)
+        if kernel == "vectorized":
+            # Measure all rows per test point in one batch, then emit the
+            # measurements in the same order the scalar loop would.
+            by_point: dict[tuple[float, int], list] = {}
+            for factor in factors:
+                for n_pr in n_pr_values:
+                    by_point[(factor, n_pr)] = measure_rows(
+                        host, bank, rows,
+                        tras_red_ns=factor * nominal,
+                        n_pr=n_pr, config=config, counters=counters)
+            for i, victim in enumerate(rows):
+                for factor in factors:
+                    for n_pr in n_pr_values:
+                        result.add(by_point[(factor, n_pr)][i])
+            continue
         for victim in rows:
             for factor in factors:
                 for n_pr in n_pr_values:
                     measurement = measure_row(
                         host, bank, victim,
                         tras_red_ns=factor * nominal,
-                        n_pr=n_pr, config=config)
+                        n_pr=n_pr, config=config, cache=cache)
                     result.add(measurement)
     return result
 

@@ -93,8 +93,15 @@ def cmd_catalog(args: argparse.Namespace) -> int:
 def cmd_campaign(args: argparse.Namespace) -> int:
     module_ids = (tuple(args.modules.split(","))
                   if args.modules else CampaignConfig().module_ids)
+    kernel = args.device_kernel
+    if args.check_protocol != "off" and kernel != "scalar":
+        # The protocol checker observes the instruction-stepping executor,
+        # which only the scalar kernel drives probe-by-probe.
+        print("note: --check-protocol requires the scalar device kernel; "
+              "overriding --device-kernel", file=sys.stderr)
+        kernel = "scalar"
     config = CampaignConfig(module_ids=module_ids,
-                            per_region=args.rows)
+                            per_region=args.rows, kernel=kernel)
     campaign = CharacterizationCampaign(args.dir, config)
     if args.status:
         print(campaign.summary())
@@ -205,6 +212,13 @@ def build_parser() -> argparse.ArgumentParser:
                                  choices=("off", "tolerant", "strict"),
                                  help="run the physics invariant guards on "
                                       "every module before measuring")
+    campaign_parser.add_argument("--device-kernel", default="vectorized",
+                                 choices=("scalar", "vectorized"),
+                                 help="device kernel: vectorized bank-level "
+                                      "fast path (default) or the scalar "
+                                      "per-row oracle (bit-identical "
+                                      "results; scalar is forced when "
+                                      "--check-protocol is on)")
     campaign_parser.set_defaults(func=cmd_campaign)
 
     sweep_parser = subparsers.add_parser(

@@ -63,18 +63,61 @@ class RowTraits:
     pattern_effectiveness: dict[DataPattern, float]  #: per-row kappa.
     halfdouble_draw: float  #: uniform draw deciding Half-Double exposure.
     cells: int  #: cells in the row.
+    worst_effectiveness: float  #: max of ``pattern_effectiveness`` (cached).
+
+
+def draw_traits(rng, spec: ModuleSpec) -> RowTraits:
+    """Sample one row's traits from its dedicated generator.
+
+    This is the single definition of the draw sequence: the scalar path
+    (:class:`RowPopulation`) and the bank-batch path
+    (:class:`repro.dram.kernels.BankTraits`) both call it, which is what
+    guarantees their traits are bit-identical.
+    """
+    min_nrh = spec.nominal_nrh
+    if min_nrh is None:
+        base_nrh = math.inf  # module exhibits no bitflips (H0)
+    else:
+        # Gamma-distributed offset above the module minimum; with a few
+        # thousand tested rows the sample minimum lands within ~2 %.
+        base_nrh = min_nrh * (1.0 + rng.gamma(2.0, 0.35))
+    mean = _SENSITIVITY_MEAN[spec.manufacturer]
+    sensitivity = 1.0 + rng.exponential(mean)
+    if min_nrh is not None and math.isfinite(base_nrh):
+        # Fig. 8: stronger rows tend to be somewhat more sensitive.
+        sensitivity += 0.02 * math.log(base_nrh / min_nrh + 1.0) * rng.random()
+    sensitive_extra = 0.0
+    if rng.random() < _SENSITIVE_ROW_PROB:
+        sensitive_extra = rng.uniform(0.25, 0.5)
+    retention_strength = 1.0 + rng.gamma(1.2, 0.6)
+    effectiveness = {
+        pattern: base * (1.0 + 0.04 * rng.standard_normal())
+        for pattern, base in PATTERN_BASE_EFFECTIVENESS.items()
+    }
+    return RowTraits(
+        base_nrh=base_nrh,
+        sensitivity=sensitivity,
+        sensitive_extra_drop=sensitive_extra,
+        retention_strength=retention_strength,
+        pattern_effectiveness=effectiveness,
+        halfdouble_draw=rng.random(),
+        cells=spec.row_bits(),
+        worst_effectiveness=max(effectiveness.values()),
+    )
 
 
 class RowPopulation:
     """Cell-level behavior of one physical DRAM row."""
 
     def __init__(self, spec: ModuleSpec, charge: ChargeModel,
-                 bank: int, row: int, seeds: SeedTree) -> None:
+                 bank: int, row: int, seeds: SeedTree,
+                 traits: RowTraits | None = None) -> None:
         self.spec = spec
         self.charge = charge
         self.bank = bank
         self.row = row
-        self.traits = self._sample_traits(seeds)
+        self.traits = (traits if traits is not None
+                       else self._sample_traits(seeds))
         self._sigma = _CELL_SIGMA[spec.manufacturer]
         self._ber_gain = _BER_BIAS_GAIN[spec.manufacturer]
 
@@ -83,36 +126,7 @@ class RowPopulation:
     # ------------------------------------------------------------------
     def _sample_traits(self, seeds: SeedTree) -> RowTraits:
         rng = seeds.generator("row", self.bank, self.row)
-        spec = self.spec
-        min_nrh = spec.nominal_nrh
-        if min_nrh is None:
-            base_nrh = math.inf  # module exhibits no bitflips (H0)
-        else:
-            # Gamma-distributed offset above the module minimum; with a few
-            # thousand tested rows the sample minimum lands within ~2 %.
-            base_nrh = min_nrh * (1.0 + rng.gamma(2.0, 0.35))
-        mean = _SENSITIVITY_MEAN[spec.manufacturer]
-        sensitivity = 1.0 + rng.exponential(mean)
-        if min_nrh is not None and math.isfinite(base_nrh):
-            # Fig. 8: stronger rows tend to be somewhat more sensitive.
-            sensitivity += 0.02 * math.log(base_nrh / min_nrh + 1.0) * rng.random()
-        sensitive_extra = 0.0
-        if rng.random() < _SENSITIVE_ROW_PROB:
-            sensitive_extra = rng.uniform(0.25, 0.5)
-        retention_strength = 1.0 + rng.gamma(1.2, 0.6)
-        effectiveness = {
-            pattern: base * (1.0 + 0.04 * rng.standard_normal())
-            for pattern, base in PATTERN_BASE_EFFECTIVENESS.items()
-        }
-        return RowTraits(
-            base_nrh=base_nrh,
-            sensitivity=sensitivity,
-            sensitive_extra_drop=sensitive_extra,
-            retention_strength=retention_strength,
-            pattern_effectiveness=effectiveness,
-            halfdouble_draw=rng.random(),
-            cells=spec.row_bits(),
-        )
+        return draw_traits(rng, self.spec)
 
     # ------------------------------------------------------------------
     # derived physics
@@ -200,13 +214,12 @@ class RowPopulation:
     # internals
     # ------------------------------------------------------------------
     def _relative_effectiveness(self, pattern: DataPattern | None) -> float:
-        eff = self.traits.pattern_effectiveness
-        worst = max(eff.values())
         if pattern is None:
             return 1.0
+        worst = self.traits.worst_effectiveness
         if worst <= 0:
             raise ConfigError("non-positive pattern effectiveness")
-        return eff[pattern] / worst
+        return self.traits.pattern_effectiveness[pattern] / worst
 
     def _ber_bias(self, factor: float) -> float:
         """Extra BER growth below the vendor's BER-safe latency (Fig. 9)."""

@@ -23,7 +23,10 @@ Three coupled behaviors are modeled per module:
 from __future__ import annotations
 
 import math
+from bisect import bisect_left
 from dataclasses import dataclass
+
+import numpy as np
 
 from repro.dram.catalog import MAX_TESTED_NPCR, ModuleSpec
 from repro.dram.timing import TESTED_TRAS_FACTORS
@@ -35,29 +38,74 @@ from repro.units import MS
 #: tested up to 15K restorations without failures for these cells).
 UNLIMITED_NPCR: int = 10_000_000
 
+#: Memo-table bound; characterization grids hit a handful of distinct
+#: (factor, n_pr, temperature) points, so this is never reached in practice.
+_MEMO_LIMIT: int = 65_536
+
+
+class Curve:
+    """A piecewise-linear curve with presorted anchors.
+
+    The calibration anchors are sorted once at construction (the dict form
+    re-sorted on every call, which dominated the scalar hot path) and are
+    also exposed as numpy arrays so analysis code can evaluate a whole
+    vector of x-positions at once.  Scalar and vector evaluation use the
+    same arithmetic — ``y0 + (x - x0) / (x1 - x0) * (y1 - y0)``, clamped
+    outside the anchor range — so results are bit-identical to the original
+    per-call interpolation.
+    """
+
+    __slots__ = ("xs", "ys", "xs_array", "ys_array")
+
+    def __init__(self, anchors: dict[float, float]) -> None:
+        if not anchors:
+            raise ConfigError("empty anchor set")
+        points = sorted(anchors.items())
+        self.xs: tuple[float, ...] = tuple(x for x, _ in points)
+        self.ys: tuple[float, ...] = tuple(y for _, y in points)
+        self.xs_array = np.asarray(self.xs, dtype=np.float64)
+        self.ys_array = np.asarray(self.ys, dtype=np.float64)
+
+    def at(self, x: float) -> float:
+        """Interpolated value at ``x`` (clamped to the anchor range)."""
+        xs, ys = self.xs, self.ys
+        if x <= xs[0]:
+            return ys[0]
+        if x >= xs[-1]:
+            return ys[-1]
+        # First index with xs[i] >= x; x lies in segment (i - 1, i].  When x
+        # equals an interior anchor this picks the segment *ending* at x,
+        # matching the original left-to-right segment scan exactly.
+        i = bisect_left(xs, x)
+        x0, x1 = xs[i - 1], xs[i]
+        y0, y1 = ys[i - 1], ys[i]
+        frac = (x - x0) / (x1 - x0)
+        return y0 + frac * (y1 - y0)
+
+    def at_many(self, x: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`at` over an array of x-positions."""
+        x = np.asarray(x, dtype=np.float64)
+        xs, ys = self.xs_array, self.ys_array
+        i = np.clip(np.searchsorted(xs, x, side="left"), 1, len(xs) - 1)
+        x0, x1 = xs[i - 1], xs[i]
+        y0, y1 = ys[i - 1], ys[i]
+        frac = (x - x0) / (x1 - x0)
+        out = y0 + frac * (y1 - y0)
+        return np.where(x <= xs[0], ys[0],
+                        np.where(x >= xs[-1], ys[-1], out))
+
 
 def interpolate_curve(anchors: dict[float, float], x: float) -> float:
     """Piecewise-linear interpolation through ``anchors`` (clamped outside).
 
     ``anchors`` maps x-positions to values; x-positions need not be sorted.
+    Repeated evaluations of the same anchor set should build a
+    :class:`Curve` once instead.
 
     >>> interpolate_curve({0.0: 0.0, 1.0: 10.0}, 0.25)
     2.5
     """
-    if not anchors:
-        raise ConfigError("empty anchor set")
-    points = sorted(anchors.items())
-    if x <= points[0][0]:
-        return points[0][1]
-    if x >= points[-1][0]:
-        return points[-1][1]
-    for (x0, y0), (x1, y1) in zip(points, points[1:]):
-        if x0 <= x <= x1:
-            if x1 == x0:
-                return y0
-            frac = (x - x0) / (x1 - x0)
-            return y0 + frac * (y1 - y0)
-    raise AssertionError("unreachable: x within range but no segment found")
+    return Curve(anchors).at(x)
 
 
 @dataclass(frozen=True)
@@ -110,6 +158,17 @@ class ChargeModel:
         self._npcr_anchors = self._build_npcr_anchors()
         self._retention = _RETENTION[spec.manufacturer]
         self._margin_anchors = _MARGIN_ANCHORS[spec.manufacturer]
+        # Presorted curves + small memo tables.  Characterization evaluates
+        # these at a handful of (factor, n_pr, temperature) grid points but
+        # millions of times; the memos make repeat lookups dict-speed while
+        # staying bit-identical to a fresh interpolation.
+        self._single_curve = Curve(self._single_ratio_anchors)
+        self._repeated_curve = Curve(self._repeated_ratio_anchors)
+        self._npcr_curve = Curve(self._npcr_anchors)
+        self._margin_curve = Curve(self._margin_anchors)
+        self._npcr_memo: dict[float, int] = {}
+        self._ratio_memo: dict[tuple[float, int, float], float] = {}
+        self._margin_memo: dict[tuple[float, int], float] = {}
 
     # ------------------------------------------------------------------
     # calibration-curve construction
@@ -179,9 +238,14 @@ class ChargeModel:
         factor = self._clamp_factor(factor)
         if factor >= 1.0 or not self.spec.vulnerable():
             return UNLIMITED_NPCR
-        log_limit = interpolate_curve(self._npcr_anchors, factor)
-        limit = int(10 ** log_limit)
-        return min(limit, UNLIMITED_NPCR)
+        cached = self._npcr_memo.get(factor)
+        if cached is not None:
+            return cached
+        log_limit = self._npcr_curve.at(factor)
+        limit = min(int(10 ** log_limit), UNLIMITED_NPCR)
+        if len(self._npcr_memo) < _MEMO_LIMIT:
+            self._npcr_memo[factor] = limit
+        return limit
 
     def nrh_ratio(self, factor: float, n_pr: int = 1, temperature_c: float = 80.0) -> float:
         """N_RH scaling vs nominal for a row restored ``n_pr`` consecutive
@@ -194,13 +258,20 @@ class ChargeModel:
         factor = self._clamp_factor(factor)
         if n_pr < 1:
             raise ConfigError(f"n_pr must be >= 1, got {n_pr}")
-        r1 = interpolate_curve(self._single_ratio_anchors, factor)
-        r_inf = interpolate_curve(self._repeated_ratio_anchors, factor)
+        key = (factor, n_pr, temperature_c)
+        cached = self._ratio_memo.get(key)
+        if cached is not None:
+            return cached
+        r1 = self._single_curve.at(factor)
+        r_inf = self._repeated_curve.at(factor)
         limit = self.npcr_limit(factor)
         tau = max(1.0, min(limit, MAX_TESTED_NPCR) / 4.0)
         ratio = r_inf + (r1 - r_inf) * math.exp(-(n_pr - 1) / tau)
         ratio *= self._temperature_scale(temperature_c)
-        return max(ratio, 0.0)
+        ratio = max(ratio, 0.0)
+        if len(self._ratio_memo) < _MEMO_LIMIT:
+            self._ratio_memo[key] = ratio
+        return ratio
 
     def retention_fails(self, factor: float, n_pr: int = 1,
                         wait_ns: float = 64 * MS,
@@ -334,12 +405,18 @@ class ChargeModel:
     # internals
     # ------------------------------------------------------------------
     def _retention_margin(self, factor: float, n_pr: int) -> float:
-        margin = interpolate_curve(self._margin_anchors, factor)
         if factor >= 1.0:
             return 1.0
+        key = (factor, n_pr)
+        cached = self._margin_memo.get(key)
+        if cached is not None:
+            return cached
+        margin = self._margin_curve.at(factor)
         beta = self._retention.pcr_margin_beta
         if beta > 0.0 and n_pr > 1:
             margin *= n_pr ** (-beta * (1.0 - factor))
+        if len(self._margin_memo) < _MEMO_LIMIT:
+            self._margin_memo[key] = margin
         return margin
 
     @staticmethod

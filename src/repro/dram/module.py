@@ -22,6 +22,7 @@ from repro.dram.cell_array import RowPopulation
 from repro.dram.charge import ChargeModel
 from repro.dram.disturbance import BLAST_RADIUS, DataPattern, HammerDose, ZERO_DOSE
 from repro.dram.geometry import ModuleGeometry, geometry_for_density
+from repro.dram.kernels import BankTraits
 from repro.dram.mapping import RowMapping, mapping_for_vendor
 from repro.dram.timing import TimingParams, ddr4_timing
 from repro.errors import DeviceError
@@ -62,9 +63,11 @@ class DRAMModule:
             spec.manufacturer, self.geometry.rows_per_bank)
         self.temperature_c = temperature_c
         self.clock_ns: float = 0.0
+        self.seed = seed
         self._seeds = SeedTree(seed).child("module", spec.module_id)
         self._rows: dict[tuple[int, int], RowPopulation] = {}
         self._states: dict[tuple[int, int], RowState] = {}
+        self._trait_batches: dict[tuple[int, tuple[int, ...]], BankTraits] = {}
 
     # ------------------------------------------------------------------
     # row access
@@ -77,6 +80,33 @@ class DRAMModule:
             self._rows[key] = RowPopulation(
                 self.spec, self.charge, bank, row, self._seeds)
         return self._rows[key]
+
+    def bank_traits(self, bank: int, rows: tuple[int, ...]) -> BankTraits:
+        """Struct-of-arrays traits for a batch of rows in one bank.
+
+        The batch samples each row's traits from its own seed-tree stream
+        (bit-identical to :meth:`row_population`), registers per-row
+        populations as thin views over the batch, and is cached so repeated
+        characterization sweeps over the same rows reuse it.
+        """
+        rows = tuple(rows)
+        for row in rows:
+            self._check_address(bank, row)
+        key = (bank, rows)
+        batch = self._trait_batches.get(key)
+        if batch is not None:
+            return batch
+        existing = {row: self._rows[(bank, row)].traits
+                    for row in rows if (bank, row) in self._rows}
+        batch = BankTraits.sample(self.spec, self.charge, bank, rows,
+                                  self._seeds, existing)
+        for i, row in enumerate(batch.rows):
+            if (bank, row) not in self._rows:
+                self._rows[(bank, row)] = RowPopulation(
+                    self.spec, self.charge, bank, row, self._seeds,
+                    traits=batch.traits[i])
+        self._trait_batches[key] = batch
+        return batch
 
     def row_state(self, bank: int, row: int) -> RowState:
         """The dynamic state of a row (created fresh on first touch)."""
@@ -194,32 +224,45 @@ class DRAMModule:
         state = self.row_state(bank, row)
         if state.pattern is None:
             raise DeviceError(f"row ({bank}, {row}) read before initialization")
-        population = self.row_population(bank, row)
-        factor = state.restore_factor
-        n_pr = max(1, state.consecutive_partial)
         wait_ns = max(0.0, self.clock_ns - state.last_restore_ns)
+        return self.evaluate_read(
+            bank, row, pattern=state.pattern, factor=state.restore_factor,
+            n_pr=max(1, state.consecutive_partial), dose=state.dose,
+            wait_ns=wait_ns)
+
+    def evaluate_read(self, bank: int, row: int, *, pattern: DataPattern,
+                      factor: float, n_pr: int, dose: HammerDose,
+                      wait_ns: float) -> int:
+        """Evaluate a read against explicit restoration/disturbance state.
+
+        The single source of truth for turning accumulated state into a
+        bitflip count: :meth:`read_row_bitflips` calls it with the tracked
+        :class:`RowState`, and the compiled program path
+        (:mod:`repro.bender.compile`) calls it with analytically folded
+        state.  ``n_pr`` is the *effective* restoration count
+        (``max(1, consecutive_partial)``).
+        """
+        population = self.row_population(bank, row)
         flips = population.hammer_flips(
-            state.dose, factor=factor, n_pr=n_pr,
-            temperature_c=self.temperature_c, pattern=state.pattern)
+            dose, factor=factor, n_pr=n_pr,
+            temperature_c=self.temperature_c, pattern=pattern)
         flips += population.retention_flips(
             factor=factor, n_pr=n_pr, wait_ns=wait_ns,
             temperature_c=self.temperature_c)
-        flips += self._halfdouble_flips(population, state)
+        flips += self._halfdouble_flips(population, dose, factor, n_pr)
         return flips
 
     # ------------------------------------------------------------------
     # internals
     # ------------------------------------------------------------------
-    def _halfdouble_flips(self, population: RowPopulation, state: RowState) -> int:
-        dose = state.dose
+    def _halfdouble_flips(self, population: RowPopulation, dose: HammerDose,
+                          factor: float, n_pr: int) -> int:
         if dose.far < HALFDOUBLE_FAR_MIN or dose.near < HALFDOUBLE_NEAR_MIN:
             return 0
         # Pure Half-Double regime only: heavy far dose, light near dose.
-        if dose.near * 2.0 >= population.effective_nrh(
-                state.restore_factor, max(1, state.consecutive_partial)):
+        if dose.near * 2.0 >= population.effective_nrh(factor, n_pr):
             return 0
-        vulnerable = population.halfdouble_vulnerable(
-            state.restore_factor, max(1, state.consecutive_partial))
+        vulnerable = population.halfdouble_vulnerable(factor, n_pr)
         return 2 if vulnerable else 0
 
     def _disturb_neighbors(self, bank: int, row: int, count: int) -> None:

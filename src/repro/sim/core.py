@@ -124,9 +124,10 @@ class CoreModel:
         return all(r.completion_ns >= 0 for r in self._inflight)
 
     def finish_time_ns(self) -> float:
-        return max(self._frontend_ns, self._last_completion_ns,
-                   *[r.completion_ns for r in self._inflight if r.completion_ns >= 0]
-                   or [0.0])
+        # Every serviced load's completion has already been folded into
+        # _last_completion_ns (note_completion / _retire_head), so the
+        # in-flight window never needs to be rescanned here.
+        return max(self._frontend_ns, self._last_completion_ns)
 
     def stats(self) -> CoreStats:
         if not self.finished():
