@@ -1,0 +1,140 @@
+"""Scalar vs. batched system-simulation kernel + baseline memoization.
+
+Runs the same fig16-style workload sweep (mitigation x tRAS factor, each
+point normalized against its no-PaCRAM baseline) two ways:
+
+* **before** — the scalar per-request oracle, every point recomputing its
+  baseline (the pre-fast-path cost model);
+* **after** — the batched kernel with a shared
+  :class:`~repro.analysis.baselines.BaselineCache`, so the baseline runs
+  once per (mitigation, workload) across the whole factor sweep.
+
+Three contracts are asserted, not just reported:
+
+* the two phases produce identical normalized series (the scalar path is
+  the parity oracle, and memoized baselines must replay exactly);
+* the fig17/fig18 and fig19 builders produce byte-identical rendered
+  output under either kernel;
+* the fast path is at least 5x faster end-to-end on this sweep.
+
+Results land in ``bench_results/system_scaling.txt`` plus a
+machine-readable ``bench_results/BENCH_system_scaling.json``.
+"""
+
+import json
+import time
+
+from bench_util import RESULTS_DIR, run_once, save_result
+
+from repro.analysis.baselines import BaselineCache
+from repro.analysis.figures import fig17_18_performance_energy, fig19_periodic
+from repro.analysis.runner import pacram_reference_config, run_simulation
+
+_TRAS_FACTORS = (0.81, 0.64, 0.45, 0.36, 0.27)
+_VENDORS = ("H", "S")
+_MITIGATIONS = ("PARA", "Graphene")
+_WORKLOADS = ("spec06.mcf", "ycsb.a")
+_NRH = 64
+_REQUESTS = 2_500
+
+
+def _sweep(sim_kernel, cache):
+    """One normalized-IPC sweep: {(mitigation, vendor, factor): ratio}."""
+    out = {}
+    for mitigation in _MITIGATIONS:
+        for vendor in _VENDORS:
+            for factor in _TRAS_FACTORS:
+                # The naive workflow recomputes this baseline at every
+                # (vendor, factor) cell; the cache collapses the repeats
+                # to one simulation per (mitigation, workload).
+                baselines = {
+                    name: run_simulation(
+                        (name,), mitigation=mitigation, nrh=_NRH,
+                        requests=_REQUESTS, sim_kernel=sim_kernel,
+                        cache=cache).mean_ipc
+                    for name in _WORKLOADS}
+                pacram = pacram_reference_config(vendor, factor)
+                ratios = [
+                    run_simulation(
+                        (name,), mitigation=mitigation, nrh=_NRH,
+                        pacram=pacram, requests=_REQUESTS,
+                        sim_kernel=sim_kernel,
+                        cache=cache).mean_ipc / baselines[name]
+                    for name in _WORKLOADS]
+                out[(mitigation, vendor, factor)] = \
+                    sum(ratios) / len(ratios)
+    return out
+
+
+def _run_both_phases():
+    started = time.perf_counter()
+    before = _sweep("scalar", cache=None)
+    before_s = time.perf_counter() - started
+    cache = BaselineCache()
+    started = time.perf_counter()
+    after = _sweep("batched", cache=cache)
+    after_s = time.perf_counter() - started
+    return before, before_s, after, after_s, cache
+
+
+def bench_system_scaling(benchmark):
+    before, before_s, after, after_s, cache = run_once(
+        benchmark, _run_both_phases)
+    # Parity first: a fast path that changes results is not a fast path.
+    assert before == after
+    points = len(before)
+    sims_before = points * 2 * len(_WORKLOADS)
+    speedup = before_s / after_s if after_s > 0 else float("inf")
+    text = (
+        f"sweep: {len(_MITIGATIONS)} mitigations x {len(_VENDORS)} vendors "
+        f"x {len(_TRAS_FACTORS)} tRAS factors x {len(_WORKLOADS)} "
+        f"workloads ({sims_before} simulations naively)\n"
+        f"scalar kernel, no cache:   {before_s:.2f}s\n"
+        f"batched kernel + memoized baselines: {after_s:.2f}s\n"
+        f"speedup: {speedup:.1f}x\n"
+        f"baseline-cache hits: {cache.hits}  misses: {cache.misses}  "
+        f"hit rate: {cache.hit_rate():.2f}")
+    save_result("system_scaling", text)
+    payload = {
+        "speedup": speedup,
+        "before_s": before_s,
+        "after_s": after_s,
+        "points": points,
+        "cache": cache.stats(),
+        "series": {f"{m}@{v_}@{f}": v
+                   for (m, v_, f), v in after.items()},
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_system_scaling.json").write_text(
+        json.dumps(payload, indent=1, sort_keys=True) + "\n")
+    assert speedup >= 5.0, f"fast path only {speedup:.1f}x faster"
+
+
+def bench_fig_builders_kernel_parity(benchmark):
+    """fig17/fig18/fig19 render byte-identically under either kernel."""
+
+    def _render_all(sim_kernel):
+        data = fig17_18_performance_energy(
+            mitigations=("PARA",), vendors=("H",), nrh_values=(1024, 64),
+            workloads=("spec06.mcf",), requests=800, sim_kernel=sim_kernel)
+        lines = []
+        for figure in ("performance", "energy"):
+            for (mitigation, label), series in data[figure].items():
+                row = " ".join(f"nrh={n}:{v:.4f}"
+                               for n, v in series.items())
+                lines.append(f"[{figure} {mitigation} {label}] {row}")
+        periodic = fig19_periodic(densities_gbit=(8, 64),
+                                  latency_factors=(1.00, 0.36),
+                                  requests=800, sim_kernel=sim_kernel)
+        for density, per_factor in periodic.items():
+            for factor, metrics in per_factor.items():
+                lines.append(f"density={density}Gb f={factor}: "
+                             f"perf={metrics['performance']:.4f} "
+                             f"energy={metrics['energy']:.4f}")
+        return "\n".join(lines).encode()
+
+    def _both():
+        return _render_all("scalar"), _render_all("batched")
+
+    scalar_bytes, batched_bytes = run_once(benchmark, _both)
+    assert scalar_bytes == batched_bytes

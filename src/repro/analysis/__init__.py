@@ -7,9 +7,11 @@ data behind one figure of the paper, at a caller-chosen scale; the
 identifier.
 """
 
+from repro.analysis.baselines import BaselineCache, baseline_code_digest
 from repro.analysis.boxstats import BoxStats
 from repro.analysis.runner import (
     PACRAM_BEST_FACTORS,
+    effective_sim_kernel,
     pacram_reference_config,
     run_simulation,
 )
@@ -17,8 +19,11 @@ from repro.analysis.experiments import EXPERIMENTS, experiment_ids
 from repro.analysis.sweeprunner import SweepGrid, SweepRunner
 
 __all__ = [
+    "BaselineCache",
+    "baseline_code_digest",
     "BoxStats",
     "PACRAM_BEST_FACTORS",
+    "effective_sim_kernel",
     "pacram_reference_config",
     "run_simulation",
     "EXPERIMENTS",

@@ -1,0 +1,252 @@
+"""Cross-point memoization of no-PaCRAM baseline simulation results.
+
+Every evaluation sweep normalizes against baseline runs that do not depend
+on the swept axis: Fig. 16 divides by the same mitigation's no-PaCRAM IPC
+at every tRAS factor, Figs. 17/18 divide by the no-mitigation run at every
+(mitigation, PaCRAM-config) cell, and a tRAS sweep repeats all of them per
+point.  Those baselines are pure functions of (workloads, trace content,
+request count, seed, mitigation, N_RH, system config) — so, like the
+characterization :class:`~repro.characterization.probecache.ProbeCache`,
+they can be memoized with zero behavior change.
+
+The cache is bound to a *code digest* (:func:`baseline_code_digest`) that
+hashes every constant of the timing/energy/mitigation model that shapes a
+result without appearing in the key.  :meth:`BaselineCache.ensure` drops
+all entries when the digest drifts, so editing the simulator can never
+serve stale statistics.  Entries optionally persist to disk (one atomic
+JSON file per key) so separate sweep worker processes — and separate sweep
+invocations — share baselines.
+
+Only *unchecked, no-PaCRAM* runs are cached (:func:`cacheable`): PaCRAM
+runs depend on the swept latency factor, and checked runs must actually
+execute to observe violations.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from collections import OrderedDict
+from pathlib import Path
+
+from repro.errors import SimulationError
+from repro.runtime.persist import write_atomic
+from repro.sim.config import SystemConfig
+from repro.sim.stats import ControllerStats, CoreStats, LatencySummary
+from repro.sim.system import SimulationResult
+from repro.workloads.trace import Trace
+
+#: Bump when the cached-result schema or any hashed semantics change in a
+#: way the constant digest cannot see (e.g. a control-flow fix).
+SCHEMA_VERSION = 2
+
+#: In-memory entry bound; a full fig17-style grid holds well under this.
+DEFAULT_MAXSIZE = 512
+
+
+def baseline_code_digest() -> str:
+    """Digest of every model constant that shapes a baseline result.
+
+    The cache key captures the *inputs* (workloads, traces, config); this
+    digest captures the *simulator*: timing-independent energy constants,
+    controller behavior knobs, and each mitigation's tuning constants.
+    Editing any of them invalidates every cached baseline on next use.
+    """
+    from repro.mitigations import graphene, hydra, para, prac, rfm
+    from repro.sim import energy
+    from repro.sim.controller import MemoryController
+
+    constants = {
+        "schema": SCHEMA_VERSION,
+        "energy": {
+            "act_base": energy.E_ACT_BASE_NJ,
+            "restore_per_ns": energy.E_RESTORE_PER_NS,
+            "read": energy.E_READ_NJ,
+            "write": energy.E_WRITE_NJ,
+            "background_w": energy.P_BACKGROUND_W_PER_RANK,
+        },
+        "controller": {
+            "forward_latency_ns": MemoryController.FORWARD_LATENCY_NS,
+        },
+        "mitigations": {
+            "para_strength": para.PARA_STRENGTH,
+            "graphene": [graphene.THRESHOLD_FRACTION,
+                         graphene.ACTS_PER_WINDOW],
+            "hydra": [hydra.GROUP_SIZE, hydra.RCC_ENTRIES,
+                      hydra.GROUP_FRACTION, hydra.ROW_FRACTION],
+            "rfm_divisor": rfm.RAAIMT_DIVISOR,
+            "prac": [prac.ACT_PENALTY_NS, prac.BACKOFF_FRACTION],
+        },
+    }
+    blob = json.dumps(constants, sort_keys=True)
+    return hashlib.sha256(blob.encode()).hexdigest()[:16]
+
+
+def trace_digest(trace: Trace) -> str:
+    """Content digest of one trace's arrays (name excluded on purpose:
+    identical streams under different labels are the same workload)."""
+    h = hashlib.sha256()
+    h.update(trace.bubbles.tobytes())
+    h.update(trace.is_write.tobytes())
+    h.update(trace.addresses.tobytes())
+    return h.hexdigest()[:16]
+
+
+def baseline_key(workloads: tuple[str, ...], traces: list[Trace], *,
+                 mitigation: str, nrh: int, requests: int, seed: int,
+                 config: SystemConfig) -> str:
+    """Identity of one baseline run: every input the result depends on.
+
+    The simulation kernel is deliberately *not* part of the key — the
+    batched kernel is bit-exact with the scalar oracle, so either may
+    populate an entry the other consumes (the parity suite enforces this).
+    """
+    from dataclasses import asdict
+
+    raw = {
+        "workloads": list(workloads),
+        "traces": [trace_digest(t) for t in traces],
+        "mitigation": mitigation,
+        "nrh": nrh,
+        "requests": requests,
+        "seed": seed,
+        "config": asdict(config),
+    }
+    return json.dumps(raw, sort_keys=True)
+
+
+def cacheable(*, pacram, checker, violations_path) -> bool:
+    """Whether a run's result may be served from / stored in the cache."""
+    return pacram is None and checker is None and violations_path is None
+
+
+# ---------------------------------------------------------------------------
+# SimulationResult <-> JSON (exact float round trip via repr)
+# ---------------------------------------------------------------------------
+def result_to_json(result: SimulationResult) -> dict:
+    from dataclasses import asdict
+
+    if result.protocol_violations:
+        raise SimulationError("refusing to cache a checked run's result")
+    payload = asdict(result)
+    payload.pop("protocol_violations")
+    return payload
+
+
+def result_from_json(payload: dict) -> SimulationResult:
+    return SimulationResult(
+        core_stats=[CoreStats(**s) for s in payload["core_stats"]],
+        controller_stats=ControllerStats(**payload["controller_stats"]),
+        elapsed_ns=payload["elapsed_ns"],
+        preventive_busy_fraction=payload["preventive_busy_fraction"],
+        energy_nj=payload["energy_nj"],
+        energy_breakdown=dict(payload["energy_breakdown"]),
+        read_latency=LatencySummary(**payload["read_latency"]),
+    )
+
+
+class BaselineCache:
+    """Digest-bound LRU memo of baseline :class:`SimulationResult`\\ s.
+
+    ``disk_dir`` adds a persistent tier: entries are written as one atomic
+    JSON file each (safe under parallel sweep workers) and read back on
+    in-memory misses; files bound to a stale digest are ignored.  Every
+    :meth:`get` returns a *fresh* result object so callers can mutate
+    their copy freely.
+    """
+
+    def __init__(self, maxsize: int = DEFAULT_MAXSIZE,
+                 disk_dir: str | Path | None = None) -> None:
+        if maxsize < 1:
+            raise ValueError(f"maxsize must be >= 1, got {maxsize}")
+        self.maxsize = maxsize
+        self.disk_dir = Path(disk_dir) if disk_dir is not None else None
+        self.digest: str | None = None
+        self._entries: OrderedDict[str, dict] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def ensure(self, digest: str) -> None:
+        """Bind the cache to ``digest``, clearing entries on code drift."""
+        if self.digest == digest:
+            return
+        if self.digest is not None:
+            self.invalidations += 1
+        self._entries.clear()
+        self.digest = digest
+
+    def _path(self, key: str) -> Path:
+        name = hashlib.sha256(key.encode()).hexdigest()[:24]
+        return self.disk_dir / f"baseline_{name}.json"
+
+    def get(self, key: str) -> SimulationResult | None:
+        entries = self._entries
+        payload = entries.get(key)
+        if payload is not None:
+            entries.move_to_end(key)
+            self.hits += 1
+            return result_from_json(payload)
+        payload = self._disk_get(key)
+        if payload is None:
+            self.misses += 1
+            return None
+        self._store_memory(key, payload)
+        self.hits += 1
+        return result_from_json(payload)
+
+    def put(self, key: str, result: SimulationResult) -> None:
+        payload = result_to_json(result)
+        self._store_memory(key, payload)
+        if self.disk_dir is not None:
+            self.disk_dir.mkdir(parents=True, exist_ok=True)
+            blob = json.dumps({"digest": self.digest, "key": key,
+                               "result": payload}, sort_keys=True)
+            write_atomic(self._path(key), blob)
+
+    def _store_memory(self, key: str, payload: dict) -> None:
+        entries = self._entries
+        entries[key] = payload
+        entries.move_to_end(key)
+        if len(entries) > self.maxsize:
+            entries.popitem(last=False)
+
+    def _disk_get(self, key: str) -> dict | None:
+        if self.disk_dir is None:
+            return None
+        path = self._path(key)
+        try:
+            raw = json.loads(path.read_text())
+        except (OSError, ValueError):
+            return None  # absent or torn file: treat as a miss
+        if (not isinstance(raw, dict) or raw.get("digest") != self.digest
+                or raw.get("key") != key
+                or not isinstance(raw.get("result"), dict)):
+            return None  # stale digest or hash collision: re-simulate
+        return raw["result"]
+
+    def clear_disk(self) -> int:
+        """Delete every persisted entry (``--force``); returns the count."""
+        if self.disk_dir is None or not self.disk_dir.is_dir():
+            return 0
+        removed = 0
+        for path in sorted(self.disk_dir.glob("baseline_*.json")):
+            path.unlink()
+            removed += 1
+        return removed
+
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> dict[str, float]:
+        return {
+            "entries": len(self._entries),
+            "hits": self.hits,
+            "misses": self.misses,
+            "invalidations": self.invalidations,
+            "hit_rate": self.hit_rate(),
+        }

@@ -49,6 +49,7 @@ MITIGATIONS: tuple[str, ...] = ("PARA", "RFM", "PRAC", "Hydra", "Graphene")
 def fig3_preventive_overhead(*, nrh_values: tuple[int, ...] = EVALUATED_NRH_VALUES,
                              mitigations: tuple[str, ...] = MITIGATIONS,
                              num_mixes: int = 3, requests: int = 3_000,
+                             sim_kernel: str | None = None,
                              ) -> dict[str, dict[int, dict[str, float]]]:
     """{mitigation: {nrh: {"mean"/"min"/"max": fraction of time}}}."""
     mixes = multicore_mixes(num_mixes)
@@ -59,7 +60,8 @@ def fig3_preventive_overhead(*, nrh_values: tuple[int, ...] = EVALUATED_NRH_VALU
             fractions = []
             for mix in mixes:
                 result = run_simulation(mix, mitigation=mitigation,
-                                        nrh=nrh, requests=requests)
+                                        nrh=nrh, requests=requests,
+                                        sim_kernel=sim_kernel)
                 fractions.append(result.preventive_busy_fraction)
             out[mitigation][nrh] = {
                 "mean": sum(fractions) / len(fractions),
@@ -343,6 +345,7 @@ def fig16_latency_sweep(*, mitigations: tuple[str, ...] = MITIGATIONS,
                                                            0.36, 0.27),
                         workloads: tuple[str, ...] | None = None,
                         requests: int = 3_000,
+                        sim_kernel: str | None = None, cache=None,
                         ) -> dict[tuple[str, str, int], dict[float, float]]:
     """{(mitigation, vendor, nrh): {factor: IPC normalized to no-PaCRAM}}."""
     if workloads is None:
@@ -353,7 +356,9 @@ def fig16_latency_sweep(*, mitigations: tuple[str, ...] = MITIGATIONS,
         for nrh in nrh_values:
             baselines = {
                 name: run_simulation((name,), mitigation=mitigation, nrh=nrh,
-                                     requests=requests, config=config).mean_ipc
+                                     requests=requests, config=config,
+                                     sim_kernel=sim_kernel,
+                                     cache=cache).mean_ipc
                 for name in workloads}
             for vendor in vendors:
                 series: dict[float, float] = {}
@@ -366,7 +371,8 @@ def fig16_latency_sweep(*, mitigations: tuple[str, ...] = MITIGATIONS,
                     for name in workloads:
                         result = run_simulation(
                             (name,), mitigation=mitigation, nrh=nrh,
-                            pacram=pacram, requests=requests, config=config)
+                            pacram=pacram, requests=requests, config=config,
+                            sim_kernel=sim_kernel, cache=cache)
                         ratios.append(result.mean_ipc / baselines[name])
                     series[factor] = sum(ratios) / len(ratios)
                 out[(mitigation, vendor, nrh)] = series
@@ -381,6 +387,7 @@ def fig17_18_performance_energy(*, mitigations: tuple[str, ...] = MITIGATIONS,
                                 nrh_values: tuple[int, ...] = EVALUATED_NRH_VALUES,
                                 workloads: tuple[str, ...] | None = None,
                                 requests: int = 3_000,
+                                sim_kernel: str | None = None, cache=None,
                                 ) -> dict:
     """Normalized performance (Fig. 17) and energy (Fig. 18) vs N_RH.
 
@@ -394,7 +401,8 @@ def fig17_18_performance_energy(*, mitigations: tuple[str, ...] = MITIGATIONS,
     base_ipc, base_energy = {}, {}
     for name in workloads:
         result = run_simulation((name,), mitigation="None",
-                                requests=requests, config=config)
+                                requests=requests, config=config,
+                                sim_kernel=sim_kernel, cache=cache)
         base_ipc[name] = result.mean_ipc
         base_energy[name] = result.energy_nj
     performance: dict[tuple[str, str], dict[int, float]] = {}
@@ -410,7 +418,8 @@ def fig17_18_performance_energy(*, mitigations: tuple[str, ...] = MITIGATIONS,
                 for name in workloads:
                     result = run_simulation(
                         (name,), mitigation=mitigation, nrh=nrh,
-                        pacram=pacram, requests=requests, config=config)
+                        pacram=pacram, requests=requests, config=config,
+                        sim_kernel=sim_kernel, cache=cache)
                     perf.append(result.mean_ipc / base_ipc[name])
                     joule.append(result.energy_nj / base_energy[name])
                 perf_series[nrh] = sum(perf) / len(perf)
@@ -425,6 +434,7 @@ def fig17_multicore_weighted_speedup(
         vendors: tuple[str, ...] = ("H",),
         nrh_values: tuple[int, ...] = (1024, 32),
         num_mixes: int = 2, requests: int = 2_000,
+        sim_kernel: str | None = None, cache=None,
         ) -> dict[tuple[str, str], dict[int, float]]:
     """Fig. 17's right subplot: 4-core weighted speedup vs N_RH.
 
@@ -446,10 +456,12 @@ def fig17_multicore_weighted_speedup(
                     config = SystemConfig(num_cores=len(mix))
                     base = run_simulation(mix, mitigation=mitigation,
                                           nrh=nrh, requests=requests,
-                                          config=config)
+                                          config=config,
+                                          sim_kernel=sim_kernel, cache=cache)
                     fast = run_simulation(mix, mitigation=mitigation,
                                           nrh=nrh, pacram=pacram,
-                                          requests=requests, config=config)
+                                          requests=requests, config=config,
+                                          sim_kernel=sim_kernel, cache=cache)
                     speedups.append(
                         weighted_speedup(fast.ipc, base.ipc) / len(mix))
                 series[nrh] = sum(speedups) / len(speedups)
@@ -464,6 +476,7 @@ def fig19_periodic(*, densities_gbit: tuple[int, ...] = (8, 32, 128, 512),
                    latency_factors: tuple[float, ...] = (1.00, 0.64, 0.36, 0.18),
                    mix: tuple[str, ...] | None = None,
                    requests: int = 2_500,
+                   sim_kernel: str | None = None,
                    ) -> dict[int, dict[float, dict[str, float]]]:
     """{density: {latency factor: {"performance"/"energy": normalized}}}.
 
@@ -489,7 +502,7 @@ def fig19_periodic(*, densities_gbit: tuple[int, ...] = (8, 32, 128, 512),
                                          npcr=10**9)
         baseline = MemorySystem(config, traces,
                                 mitigation=make_mitigation("None", 1),
-                                policy=baseline_policy).run()
+                                policy=baseline_policy).run(sim_kernel)
         out[density] = {}
         for factor in latency_factors:
             policy = PeriodicPaCRAM(config, latency_factor_rfc=factor)
@@ -497,7 +510,7 @@ def fig19_periodic(*, densities_gbit: tuple[int, ...] = (8, 32, 128, 512),
                        for i, name in enumerate(mix)]
             result = MemorySystem(config, traces2,
                                   mitigation=make_mitigation("None", 1),
-                                  policy=policy).run()
+                                  policy=policy).run(sim_kernel)
             ws = sum(result.ipc[c] / baseline.ipc[c] for c in result.ipc)
             ws /= len(result.ipc)
             out[density][factor] = {

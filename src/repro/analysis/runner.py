@@ -38,6 +38,23 @@ def pacram_reference_config(vendor: str,
     return PaCRAMConfig.from_catalog(module_id, factor)
 
 
+def effective_sim_kernel(sim_kernel: str | None, check_mode: str) -> str:
+    """Resolve the kernel a run will actually use.
+
+    Protocol checking needs the scalar oracle (the checker observes every
+    command in per-request order), so any check mode other than ``"off"``
+    forces ``"scalar"`` regardless of the requested kernel — mirroring the
+    campaign CLI's forced-scalar behavior for ``--device-kernel``.
+    """
+    from repro.sim.kernels import default_sim_kernel, resolve_sim_kernel
+
+    if check_mode != "off":
+        return "scalar"
+    if sim_kernel is None:
+        return default_sim_kernel()
+    return resolve_sim_kernel(sim_kernel)
+
+
 def run_simulation(workload_names: tuple[str, ...], *,
                    mitigation: str = "None", nrh: int = 1024,
                    pacram: PaCRAMConfig | None = None,
@@ -45,6 +62,8 @@ def run_simulation(workload_names: tuple[str, ...], *,
                    config: SystemConfig | None = None,
                    check_protocol: str | None = None,
                    violations_path: str | Path | None = None,
+                   sim_kernel: str | None = None,
+                   cache=None,
                    ) -> SimulationResult:
     """Run one configuration: workloads x mitigation x optional PaCRAM.
 
@@ -57,18 +76,45 @@ def run_simulation(workload_names: tuple[str, ...], *,
     falls back to :func:`repro.validation.default_check_mode`).  Observed
     violations land in ``result.protocol_violations`` and, if
     ``violations_path`` is given, in a deterministic JSONL ledger there.
+
+    ``sim_kernel`` selects the controller drain loop (``"scalar"`` oracle
+    or the bit-exact ``"batched"`` fast path; ``None`` = process default);
+    checking forces the scalar oracle.  ``cache`` (a
+    :class:`~repro.analysis.baselines.BaselineCache`) memoizes unchecked
+    no-PaCRAM runs across calls — sweep points share their baselines
+    instead of re-simulating them.
     """
+    from repro.analysis.baselines import (
+        baseline_code_digest,
+        baseline_key,
+        cacheable,
+    )
+
     if config is None:
         config = SystemConfig(num_cores=max(1, len(workload_names)))
     traces = [workload_by_name(name, requests=requests, seed=seed + i)
               for i, name in enumerate(workload_names)]
+    mode = check_protocol if check_protocol is not None else default_check_mode()
+    kernel = effective_sim_kernel(sim_kernel, mode)
+    use_cache = cache is not None and cacheable(
+        pacram=pacram, checker=None if mode == "off" else mode,
+        violations_path=violations_path)
+    key = None
+    if use_cache:
+        cache.ensure(baseline_code_digest())
+        key = baseline_key(tuple(workload_names), traces,
+                           mitigation=mitigation, nrh=nrh,
+                           requests=requests, seed=seed, config=config)
+        cached = cache.get(key)
+        if cached is not None:
+            return cached
     policy = None
     effective_nrh = nrh
     if pacram is not None:
         policy = PaCRAM(config, pacram)
         effective_nrh = pacram.scaled_nrh(nrh)
-    mechanism = make_mitigation(mitigation, effective_nrh)
-    mode = check_protocol if check_protocol is not None else default_check_mode()
+    mechanism = make_mitigation(mitigation, effective_nrh,
+                                batched=(kernel == "batched"), config=config)
     checker = make_checker(
         config, mode=mode,
         partial_limit=(policy.partial_restoration_limit()
@@ -76,9 +122,11 @@ def run_simulation(workload_names: tuple[str, ...], *,
         mitigation=mechanism)
     system = MemorySystem(config, traces, mitigation=mechanism, policy=policy,
                           observer=checker)
-    result = system.run()
+    result = system.run(kernel)
     if checker is not None:
         result.protocol_violations = list(checker.violations)
         if violations_path is not None:
             checker.write_ledger(violations_path)
+    if use_cache:
+        cache.put(key, result)
     return result

@@ -137,6 +137,9 @@ class SweepGrid:
     requests: int = 2_000
     #: Protocol-checker mode for every point ("off" | "tolerant" | "strict").
     check_protocol: str = "off"
+    #: Simulation kernel for every point ("scalar" | "batched"; None =
+    #: process default).  Checking forces the scalar oracle regardless.
+    sim_kernel: str | None = None
 
     def points(self) -> list[SweepPoint]:
         out = []
@@ -157,23 +160,32 @@ def violations_path(row_path: str | Path) -> Path:
 
 
 def _simulate_to(point: SweepPoint, requests: int, path: str,
-                 check_protocol: str = "off") -> None:
+                 check_protocol: str = "off",
+                 sim_kernel: str | None = None,
+                 cache_dir: str | None = None) -> None:
     """Worker task: run one grid point, persist its row atomically.
 
     Module-level so it pickles across the process-pool boundary.  With
     checking enabled, observed violations are counted in the row and the
     full ledger lands in ``<key>.violations.jsonl`` beside it (one file per
     point keeps parallel workers from interleaving writes and makes the
-    ledger deterministic for a given seed).
+    ledger deterministic for a given seed).  ``cache_dir`` points at the
+    sweep's shared on-disk :class:`~repro.analysis.baselines.BaselineCache`
+    — no-PaCRAM points written there once are reused by every other worker
+    (and every later sweep over the same grid inputs).
     """
+    from repro.analysis.baselines import BaselineCache
+
     pacram = (pacram_reference_config(point.pacram_vendor)
               if point.pacram_vendor else None)
     config = SystemConfig(num_cores=max(1, len(point.workloads)))
     ledger = violations_path(path)
+    cache = (BaselineCache(disk_dir=cache_dir)
+             if cache_dir is not None else None)
     result = run_simulation(
         point.workloads, mitigation=point.mitigation, nrh=point.nrh,
         pacram=pacram, requests=requests, config=config,
-        check_protocol=check_protocol)
+        check_protocol=check_protocol, sim_kernel=sim_kernel, cache=cache)
     row = SweepRow(
         key=point.key, mitigation=point.mitigation, nrh=point.nrh,
         pacram_vendor=point.pacram_vendor, workloads=point.workloads,
@@ -204,6 +216,10 @@ class SweepRunner:
     def row_path(self, point: SweepPoint) -> Path:
         return self.results_dir / f"{point.key}.json"
 
+    def cache_dir(self) -> Path:
+        """Where the sweep's shared baseline cache persists."""
+        return self.results_dir / "baseline_cache"
+
     def ledger_path(self) -> Path:
         """Where the engine records failed attempts for this sweep."""
         return self.results_dir / LEDGER_NAME
@@ -223,10 +239,20 @@ class SweepRunner:
         path = self.row_path(point)
         return Task(key=point.key, path=path, fn=_simulate_to,
                     args=(point, self.grid.requests, str(path),
-                          self.grid.check_protocol))
+                          self.grid.check_protocol, self.grid.sim_kernel,
+                          str(self.cache_dir())))
+
+    def _clear_cache(self) -> None:
+        """Drop persisted baselines (``force=True``): a forced re-run must
+        re-simulate, not replay memoized results."""
+        from repro.analysis.baselines import BaselineCache
+
+        BaselineCache(disk_dir=self.cache_dir()).clear_disk()
 
     # ------------------------------------------------------------------
     def run_point(self, point: SweepPoint, *, force: bool = False) -> SweepRow:
+        if force:
+            self._clear_cache()
         pool = self._pool(jobs=1, progress=None)
         results = pool.run([self._task(point)], loader=load_row, force=force)
         return results[point.key]
@@ -237,8 +263,10 @@ class SweepRunner:
 
         ``jobs`` controls the worker-process count (``None`` = all cores);
         valid on-disk rows are reused, corrupt ones quarantined and re-run.
-        Row contents are identical for any ``jobs``.
+        Row contents are identical for any ``jobs`` and either kernel.
         """
+        if force:
+            self._clear_cache()
         points = self.grid.points()
         pool = self._pool(jobs=jobs, progress=progress)
         results = pool.run([self._task(p) for p in points],

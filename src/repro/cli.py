@@ -35,6 +35,7 @@ from repro.dram.timing import TESTED_TRAS_FACTORS
 from repro.errors import ReproError
 from repro.runtime import PrintProgress
 from repro.sim.configloader import EvaluationConfig
+from repro.sim.kernels import set_default_sim_kernel
 from repro.validation import check_physics, set_default_check_mode
 
 
@@ -62,8 +63,26 @@ def cmd_list(_: argparse.Namespace) -> int:
     return 0
 
 
+def _apply_sim_kernel(args: argparse.Namespace) -> str | None:
+    """Apply ``--sim-kernel`` as the process default; returns the kernel.
+
+    Protocol checking needs the scalar per-request oracle, so a batched
+    request is overridden with a note (mirroring ``--device-kernel``).
+    """
+    kernel = args.sim_kernel
+    if getattr(args, "check_protocol", None) not in (None, "off") \
+            and kernel == "batched":
+        print("note: --check-protocol requires the scalar simulation "
+              "kernel; overriding --sim-kernel", file=sys.stderr)
+        kernel = "scalar"
+    if kernel is not None:
+        set_default_sim_kernel(kernel)
+    return kernel
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     set_default_check_mode(args.check_protocol)
+    _apply_sim_kernel(args)
     result = run_experiment(args.experiment)
     text = _render(result)
     if args.out:
@@ -100,6 +119,7 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         print("note: --check-protocol requires the scalar device kernel; "
               "overriding --device-kernel", file=sys.stderr)
         kernel = "scalar"
+    _apply_sim_kernel(args)
     config = CampaignConfig(module_ids=module_ids,
                             per_region=args.rows, kernel=kernel)
     campaign = CharacterizationCampaign(args.dir, config)
@@ -129,12 +149,16 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             nrh_values=tuple(int(v) for v in args.nrh.split(",")),
             requests=args.requests,
             check_protocol=args.check_protocol or "off")
+    if grid.check_protocol != "off":
+        args.check_protocol = grid.check_protocol  # config-file checking
+    grid.sim_kernel = _apply_sim_kernel(args)
     runner = SweepRunner(args.dir, grid)
     if args.status:
         done, total = runner.status()
         print(f"{done}/{total} runs done")
         return 0
-    rows = runner.run(jobs=args.jobs, progress=PrintProgress())
+    rows = runner.run(jobs=args.jobs, progress=PrintProgress(),
+                      force=args.force)
     violations = sum(row.violations for row in rows)
     if grid.check_protocol != "off":
         print(f"protocol check ({grid.check_protocol}): "
@@ -187,6 +211,13 @@ def build_parser() -> argparse.ArgumentParser:
                             choices=("off", "tolerant", "strict"),
                             help="attach the DDR protocol checker to every "
                                  "simulation this experiment runs")
+    run_parser.add_argument("--sim-kernel", default=None,
+                            choices=("scalar", "batched"),
+                            help="system-simulation kernel: batched "
+                                 "controller fast path (default) or the "
+                                 "scalar per-request oracle (bit-identical "
+                                 "results; scalar is forced when "
+                                 "--check-protocol is on)")
     run_parser.set_defaults(func=cmd_run)
 
     catalog_parser = subparsers.add_parser(
@@ -219,6 +250,11 @@ def build_parser() -> argparse.ArgumentParser:
                                       "per-row oracle (bit-identical "
                                       "results; scalar is forced when "
                                       "--check-protocol is on)")
+    campaign_parser.add_argument("--sim-kernel", default=None,
+                                 choices=("scalar", "batched"),
+                                 help="process-default system-simulation "
+                                      "kernel for any system runs this "
+                                      "campaign triggers")
     campaign_parser.set_defaults(func=cmd_campaign)
 
     sweep_parser = subparsers.add_parser(
@@ -244,6 +280,15 @@ def build_parser() -> argparse.ArgumentParser:
                               help="protocol-check every grid point "
                                    "(default: the config file's setting, "
                                    "else off)")
+    sweep_parser.add_argument("--sim-kernel", default=None,
+                              choices=("scalar", "batched"),
+                              help="simulation kernel for every grid point "
+                                   "(rows are bit-identical either way; "
+                                   "scalar is forced under "
+                                   "--check-protocol)")
+    sweep_parser.add_argument("--force", action="store_true",
+                              help="re-run every point and clear the "
+                                   "persisted baseline cache")
     sweep_parser.set_defaults(func=cmd_sweep)
 
     validate_parser = subparsers.add_parser(

@@ -42,14 +42,32 @@ MITIGATION_CLASSES = {
 }
 
 
-def make_mitigation(name: str, nrh: int, **kwargs) -> MitigationMechanism:
-    """Instantiate a mitigation by name, configured for a RowHammer threshold."""
+def make_mitigation(name: str, nrh: int, *, batched: bool = False,
+                    config=None, **kwargs) -> MitigationMechanism:
+    """Instantiate a mitigation by name, configured for a RowHammer threshold.
+
+    With ``batched=True``, mechanisms that have a flattened variant in
+    :mod:`repro.mitigations.batched` use it (decisions stay bit-identical);
+    the rest fall back to their scalar class.  ``config`` (a
+    :class:`~repro.sim.config.SystemConfig`) sizes the flattened tables —
+    without it the batched variants use safe defaults.
+    """
     try:
         cls = MITIGATION_CLASSES[name]
     except KeyError:
         raise ValueError(
             f"unknown mitigation {name!r}; known: {sorted(MITIGATION_CLASSES)}"
         ) from None
+    if batched:
+        from repro.mitigations.batched import BATCHED_CLASSES
+        batched_cls = BATCHED_CLASSES.get(name)
+        if batched_cls is not None:
+            cls = batched_cls
+            if config is not None:
+                if name in ("Graphene", "Hydra"):
+                    kwargs.setdefault("total_banks", config.total_banks)
+                if name == "Hydra":
+                    kwargs.setdefault("rows_per_bank", config.rows_per_bank)
     return cls(nrh=nrh, **kwargs)
 
 

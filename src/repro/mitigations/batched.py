@@ -1,0 +1,168 @@
+"""Batched/flattened variants of the mitigation hot paths.
+
+Per-activation mitigation work is the second-largest Python cost after the
+controller loop itself.  These subclasses keep the *decisions* bit-identical
+to their scalar parents while restructuring the state they consult:
+
+* :class:`BatchedPARA` draws its Bernoulli randomness in blocks of
+  ``DRAW_BLOCK`` per epoch instead of one ``Generator.random()`` call per
+  activation.  NumPy's Generator produces the identical stream for
+  ``rng.random(n)`` and ``n`` successive ``rng.random()`` calls, so the
+  trigger decisions (and the side-selection draws interleaved with them)
+  are exactly those of the scalar PARA with the same seed.
+* :class:`BatchedGraphene` stores its per-bank Misra-Gries tables in a
+  flat list indexed by flat bank id (the scalar version hashes the bank id
+  into a dict on every activation).
+* :class:`BatchedHydra` flattens the Group Count Table into one
+  preallocated counter array indexed by ``flat_bank * groups_per_bank +
+  group`` and keys the RCC/RCT by a single packed integer, eliminating the
+  per-activation tuple allocations of the scalar version.
+
+``make_mitigation(..., batched=True)`` in :mod:`repro.mitigations` selects
+these classes; mechanisms without a batched variant fall back to their
+scalar implementation (which is already allocation-free).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.errors import ConfigError
+from repro.mitigations.base import (
+    Action,
+    MetadataAccess,
+    PreventiveRefresh,
+)
+from repro.mitigations.graphene import Graphene, _BankTable
+from repro.mitigations.hydra import GROUP_SIZE, RCC_ENTRIES, Hydra
+from repro.mitigations.para import PARA, PARA_STRENGTH
+
+#: Uniform draws fetched per refill of BatchedPARA's buffer.
+DRAW_BLOCK = 4096
+
+#: Default row-address space for BatchedHydra's packed integer keys; any
+#: bound >= the system's rows_per_bank keeps the packing collision-free.
+DEFAULT_ROWS_PER_BANK = 65_536
+
+
+class BatchedPARA(PARA):
+    """PARA with epoch-batched Bernoulli draws (identical stream)."""
+
+    def __init__(self, nrh: int, *, strength: float = PARA_STRENGTH,
+                 seed: int = 1) -> None:
+        super().__init__(nrh, strength=strength, seed=seed)
+        self._buffer = None
+        self._buffer_pos = 0
+        self._buffer_len = 0
+
+    def _draw(self) -> float:
+        pos = self._buffer_pos
+        if pos >= self._buffer_len:
+            self._buffer = self._rng.random(DRAW_BLOCK)
+            self._buffer_len = DRAW_BLOCK
+            pos = 0
+        self._buffer_pos = pos + 1
+        return self._buffer[pos]
+
+    def on_activation(self, flat_bank: int, row: int,
+                      now_ns: float) -> list[Action]:
+        self.counters.activations_observed += 1
+        if self._draw() >= self.probability:
+            return []
+        self.counters.triggers += 1
+        side = (1, 2) if self._draw() < 0.5 else (-1, -2)
+        return [PreventiveRefresh(flat_bank, row, victim_offsets=side)]
+
+
+class BatchedGraphene(Graphene):
+    """Graphene with the per-bank tables in a flat list."""
+
+    def __init__(self, nrh: int, *, total_banks: int = 0, **kwargs) -> None:
+        super().__init__(nrh, **kwargs)
+        self._table_list: list[_BankTable | None] = [None] * total_banks
+
+    def on_activation(self, flat_bank: int, row: int,
+                      now_ns: float) -> list[Action]:
+        self.counters.activations_observed += 1
+        tables = self._table_list
+        if flat_bank >= len(tables):
+            tables.extend([None] * (flat_bank + 1 - len(tables)))
+        table = tables[flat_bank]
+        if table is None:
+            table = _BankTable(self.entries_per_bank)
+            tables[flat_bank] = table
+        count = table.observe(row)
+        if count < self.threshold:
+            return []
+        table.reset_row(row)
+        self.counters.triggers += 1
+        return [PreventiveRefresh(flat_bank, row)]
+
+    def on_refresh_window(self, now_ns: float) -> None:
+        for table in self._table_list:
+            if table is not None:
+                table.clear()
+
+
+class BatchedHydra(Hydra):
+    """Hydra with a flat GCT array and packed-integer RCC/RCT keys."""
+
+    def __init__(self, nrh: int, *, group_size: int = GROUP_SIZE,
+                 rcc_entries: int = RCC_ENTRIES,
+                 rows_per_bank: int = DEFAULT_ROWS_PER_BANK,
+                 total_banks: int = 32) -> None:
+        super().__init__(nrh, group_size=group_size, rcc_entries=rcc_entries)
+        if rows_per_bank <= 0 or total_banks <= 0:
+            raise ConfigError("rows_per_bank and total_banks must be positive")
+        self._rows_per_bank = rows_per_bank
+        self._groups_per_bank = -(-rows_per_bank // group_size)
+        self._gct_flat: list[int] = [0] * (total_banks * self._groups_per_bank)
+        #: Same tiers as the scalar Hydra, keyed by one packed int.
+        self._rcc_flat: OrderedDict[int, int] = OrderedDict()
+        self._rct_flat: dict[int, int] = {}
+
+    def on_activation(self, flat_bank: int, row: int,
+                      now_ns: float) -> list[Action]:
+        self.counters.activations_observed += 1
+        gct = self._gct_flat
+        gct_index = flat_bank * self._groups_per_bank + row // self.group_size
+        if gct_index >= len(gct):
+            gct.extend([0] * (gct_index + 1 - len(gct)))
+        if gct[gct_index] < self.group_threshold:
+            gct[gct_index] += 1
+            return []
+        # Hot group: per-row tracking through the RCC, RCT in DRAM behind it.
+        actions: list[Action] = []
+        rcc = self._rcc_flat
+        row_key = flat_bank * self._rows_per_bank + row
+        if row_key in rcc:
+            rcc.move_to_end(row_key)
+            count = rcc[row_key] + 1
+        else:
+            # RCC miss: fetch the row's counter from the in-DRAM RCT.
+            actions.append(MetadataAccess(flat_bank, reads=1))
+            count = self._rct_flat.get(row_key, self.group_threshold) + 1
+            if len(rcc) >= self.rcc_entries:
+                evicted_key, evicted_count = rcc.popitem(last=False)
+                self._rct_flat[evicted_key] = evicted_count
+                actions.append(MetadataAccess(
+                    evicted_key // self._rows_per_bank, writes=1))
+        if count >= self.row_threshold:
+            self.counters.triggers += 1
+            actions.append(PreventiveRefresh(flat_bank, row))
+            count = 0
+        rcc[row_key] = count
+        return actions
+
+    def on_refresh_window(self, now_ns: float) -> None:
+        self._gct_flat = [0] * len(self._gct_flat)
+        self._rcc_flat.clear()
+        self._rct_flat.clear()
+
+
+#: Batched overrides by mechanism name; absent names use the scalar class.
+BATCHED_CLASSES = {
+    "PARA": BatchedPARA,
+    "Graphene": BatchedGraphene,
+    "Hydra": BatchedHydra,
+}

@@ -111,9 +111,29 @@ class MemoryController:
 
     def next_arrival_ns(self) -> float | None:
         """Earliest arrival among queued requests (None if queues empty)."""
-        times = [r.arrival_ns for r in self.read_queue]
-        times += [r.arrival_ns for r in self.write_queue]
-        return min(times) if times else None
+        best: float | None = None
+        for queue in (self.read_queue, self.write_queue):
+            for request in queue:
+                time_ns = request.arrival_ns
+                if best is None or time_ns < best:
+                    best = time_ns
+        return best
+
+    def advance_to_next_arrival(self) -> bool:
+        """Advance the clock to the earliest queued arrival in one call.
+
+        Coalesces the ``next_arrival_ns()`` query and the ``advance_to()``
+        that always followed it: one queue scan moves the clock to the
+        shared timestamp, after which every request arriving at it is
+        serviced without further time queries.  Returns False (and leaves
+        the clock alone) when both queues are empty.
+        """
+        next_arrival = self.next_arrival_ns()
+        if next_arrival is None:
+            return False
+        if next_arrival > self.now_ns:
+            self.now_ns = next_arrival
+        return True
 
     # ------------------------------------------------------------------
     # scheduling
@@ -232,7 +252,7 @@ class MemoryController:
             self.stats.activations += 1
             self.energy.add_activation(timing.tRAS)
             cas_start = act_start + timing.tRCD
-            self._run_mitigation(request, row, act_start)
+            self._run_mitigation(flat, row, act_start)
             # Mitigation actions may have pushed the bank's ready time.
             cas_start = max(cas_start, bank.ready_ns)
 
@@ -260,12 +280,11 @@ class MemoryController:
     # ------------------------------------------------------------------
     # mitigation actions
     # ------------------------------------------------------------------
-    def _run_mitigation(self, request: Request, row: int,
+    def _run_mitigation(self, flat: int, row: int,
                         act_start: float) -> None:
         if act_start >= self._next_refresh_window_ns:
             self.mitigation.on_refresh_window(act_start)
             self._next_refresh_window_ns += self.timing.tREFW
-        flat = self._flat_bank(request)
         actions = self.mitigation.on_activation(flat, row, act_start)
         observer = self.observer
         for action in actions:

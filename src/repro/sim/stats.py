@@ -83,18 +83,66 @@ class LatencySummary:
 
     @classmethod
     def from_values(cls, values: list[float]) -> "LatencySummary":
-        if not values:
-            return cls(count=0, mean_ns=0.0, p50_ns=0.0, p99_ns=0.0,
-                       max_ns=0.0)
-        ordered = sorted(values)
-        n = len(ordered)
-        return cls(
-            count=n,
-            mean_ns=sum(ordered) / n,
-            p50_ns=ordered[n // 2],
-            p99_ns=ordered[min(n - 1, (n * 99) // 100)],
-            max_ns=ordered[-1],
-        )
+        accumulator = LatencyAccumulator()
+        for value in values:
+            accumulator.add(value)
+        return accumulator.summary()
+
+
+class LatencyAccumulator:
+    """Streaming latency statistics with memory bounded by *distinct* values.
+
+    Read latencies in a timing simulation are combinations of a handful of
+    timing parameters, so the number of distinct values grows far slower
+    than the number of reads — a value histogram keeps exact count, mean,
+    percentiles, and max without retaining the raw per-read list (which
+    previously grew without bound over long traces).
+
+    :meth:`summary` reproduces :meth:`LatencySummary.from_values` bit for
+    bit: the mean is accumulated by adding each occurrence in sorted order
+    (exactly what ``sum(sorted(values))`` does), and percentiles index the
+    sorted multiset through cumulative counts.
+    """
+
+    __slots__ = ("_counts", "count")
+
+    def __init__(self) -> None:
+        self._counts: dict[float, int] = {}
+        self.count = 0
+
+    def add(self, value_ns: float) -> None:
+        counts = self._counts
+        counts[value_ns] = counts.get(value_ns, 0) + 1
+        self.count += 1
+
+    def distinct(self) -> int:
+        """Number of histogram bins currently held."""
+        return len(self._counts)
+
+    def summary(self) -> LatencySummary:
+        n = self.count
+        if n == 0:
+            return LatencySummary(count=0, mean_ns=0.0, p50_ns=0.0,
+                                  p99_ns=0.0, max_ns=0.0)
+        items = sorted(self._counts.items())
+        p50_index = n // 2
+        p99_index = min(n - 1, (n * 99) // 100)
+        total = 0.0
+        p50 = p99 = items[0][0]
+        seen = 0
+        for value, occurrences in items:
+            if occurrences == 1:
+                total += value
+            else:
+                for _ in range(occurrences):
+                    total += value
+            if seen <= p50_index:
+                p50 = value
+            if seen <= p99_index:
+                p99 = value
+            seen += occurrences
+        return LatencySummary(count=n, mean_ns=total / n, p50_ns=p50,
+                              p99_ns=p99, max_ns=items[-1][0])
 
 
 @dataclass

@@ -11,7 +11,12 @@ from repro.sim.config import SystemConfig
 from repro.sim.commands import CommandObserver
 from repro.sim.controller import MemoryController, RefreshLatencyPolicy
 from repro.sim.core import CoreModel
-from repro.sim.stats import ControllerStats, CoreStats, LatencySummary
+from repro.sim.stats import (
+    ControllerStats,
+    CoreStats,
+    LatencyAccumulator,
+    LatencySummary,
+)
 from repro.workloads.trace import Trace
 
 
@@ -69,10 +74,30 @@ class MemorySystem:
                       address_offset=i * self.CORE_ADDRESS_STRIDE)
             for i, trace in enumerate(traces)
         ]
-        self._read_latencies: list[float] = []
+        self._latency = LatencyAccumulator()
 
-    def run(self) -> SimulationResult:
-        """Simulate until every core has drained its trace."""
+    def run(self, kernel: str | None = None) -> SimulationResult:
+        """Simulate until every core has drained its trace.
+
+        ``kernel`` selects the drain-loop implementation: ``"scalar"`` is
+        the per-request oracle below, ``"batched"`` the bit-exact fast path
+        in :mod:`repro.sim.kernels`.  ``None`` uses the process default
+        (:func:`repro.sim.kernels.default_sim_kernel`) — except with an
+        observer attached, where the oracle is the safe default and the
+        fast path must be requested explicitly.
+        """
+        from repro.sim.kernels import default_sim_kernel, resolve_sim_kernel
+
+        if kernel is None:
+            kernel = ("scalar" if self.controller.observer is not None
+                      else default_sim_kernel())
+        kernel = resolve_sim_kernel(kernel)
+        if kernel == "batched":
+            from repro.sim.kernels import run_batched
+            return run_batched(self)
+        return self._run_scalar()
+
+    def _run_scalar(self) -> SimulationResult:
         controller = self.controller
         for core in self.cores:
             self._enqueue_all(core.pump())
@@ -82,16 +107,15 @@ class MemorySystem:
             if request is not None:
                 stall_guard = 0
                 if request.is_read:
-                    self._read_latencies.append(
+                    self._latency.add(
                         request.completion_ns - request.arrival_ns)
                     core = self.cores[request.core]
                     core.note_completion(request)
                     self._enqueue_all(core.pump())
                 continue
-            # Nothing arrived yet: advance time or finish.
-            next_arrival = controller.next_arrival_ns()
-            if next_arrival is not None:
-                controller.advance_to(next_arrival)
+            # Nothing arrived yet: advance time (one scan covers every
+            # request sharing the next timestamp) or finish.
+            if controller.advance_to_next_arrival():
                 continue
             if all(core.finished() for core in self.cores):
                 break
@@ -105,15 +129,14 @@ class MemorySystem:
             if produced == 0 and stall_guard > 2:
                 raise SimulationError(
                     "deadlock: cores unfinished but no requests pending")
-        return self._collect()
+        return self._collect([core.stats() for core in self.cores])
 
     def _enqueue_all(self, requests: list) -> None:
         for request in requests:
             self.controller.enqueue(request)
 
-    def _collect(self) -> SimulationResult:
+    def _collect(self, core_stats: list[CoreStats]) -> SimulationResult:
         controller = self.controller
-        core_stats = [core.stats() for core in self.cores]
         elapsed = max(s.elapsed_ns for s in core_stats)
         if elapsed <= 0:
             raise SimulationError("zero elapsed time")
@@ -137,5 +160,5 @@ class MemorySystem:
             preventive_busy_fraction=controller.preventive_busy_fraction(elapsed),
             energy_nj=energy.total_nj,
             energy_breakdown=breakdown,
-            read_latency=LatencySummary.from_values(self._read_latencies),
+            read_latency=self._latency.summary(),
         )

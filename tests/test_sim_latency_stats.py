@@ -1,10 +1,11 @@
 """Tests for read-latency statistics and their response to interference."""
 
+import numpy as np
 import pytest
 
 from repro.mitigations import make_mitigation
 from repro.sim.config import SystemConfig
-from repro.sim.stats import LatencySummary
+from repro.sim.stats import LatencyAccumulator, LatencySummary
 from repro.sim.system import MemorySystem
 
 
@@ -30,6 +31,58 @@ class TestLatencySummary:
     def test_ordering_invariant(self):
         summary = LatencySummary.from_values([5.0, 1.0, 9.0, 3.0])
         assert summary.p50_ns <= summary.p99_ns <= summary.max_ns
+
+
+class TestLatencyAccumulator:
+    """The streaming accumulator must reproduce the list-based summary
+    bit for bit while holding memory bounded by *distinct* values."""
+
+    def _reference(self, values):
+        """The pre-streaming implementation: retain and sort the list."""
+        if not values:
+            return LatencySummary(count=0, mean_ns=0.0, p50_ns=0.0,
+                                  p99_ns=0.0, max_ns=0.0)
+        ordered = sorted(values)
+        n = len(ordered)
+        return LatencySummary(
+            count=n, mean_ns=sum(ordered) / n, p50_ns=ordered[n // 2],
+            p99_ns=ordered[min(n - 1, (n * 99) // 100)], max_ns=ordered[-1])
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_bit_exact_vs_list_reference(self, seed):
+        rng = np.random.default_rng(seed)
+        # Few distinct values, many repeats — the simulator's shape.
+        values = [float(v) for v in
+                  rng.choice([13.75, 27.5, 41.25, 63.0 + 1e-9, 250.125],
+                             size=5000)]
+        accumulator = LatencyAccumulator()
+        for value in values:
+            accumulator.add(value)
+        assert accumulator.summary() == self._reference(values)
+
+    def test_memory_bounded_by_distinct_values(self):
+        accumulator = LatencyAccumulator()
+        for i in range(100_000):
+            accumulator.add(float(i % 17))
+        assert accumulator.distinct() == 17
+        assert accumulator.count == 100_000
+
+    def test_empty(self):
+        assert LatencyAccumulator().summary() == self._reference([])
+
+    def test_all_repeats_of_one_value(self):
+        accumulator = LatencyAccumulator()
+        for _ in range(999):
+            accumulator.add(7.25)
+        summary = accumulator.summary()
+        assert summary == self._reference([7.25] * 999)
+        assert summary.mean_ns == 7.25
+
+    def test_simulation_holds_few_distinct_latencies(
+            self, single_core_config, small_trace):
+        system = MemorySystem(single_core_config, [small_trace])
+        result = system.run()
+        assert system._latency.distinct() < result.read_latency.count
 
 
 class TestSimulationLatency:
