@@ -9,13 +9,16 @@ request count, seed, mitigation, N_RH, system config) — so, like the
 characterization :class:`~repro.characterization.probecache.ProbeCache`,
 they can be memoized with zero behavior change.
 
-The cache is bound to a *code digest* (:func:`baseline_code_digest`) that
-hashes every constant of the timing/energy/mitigation model that shapes a
-result without appearing in the key.  :meth:`BaselineCache.ensure` drops
-all entries when the digest drifts, so editing the simulator can never
-serve stale statistics.  Entries optionally persist to disk (one atomic
-JSON file per key) so separate sweep worker processes — and separate sweep
-invocations — share baselines.
+The cache is a thin instantiation of
+:class:`repro.runtime.cache.DigestCache` (one shared implementation with
+the characterization probe cache), bound to a *code digest*
+(:func:`baseline_code_digest`) that hashes every constant of the
+timing/energy/mitigation model that shapes a result without appearing in
+the key.  :meth:`~DigestCache.ensure` drops all entries when the digest
+drifts, so editing the simulator can never serve stale statistics.
+Entries optionally persist to disk (one atomic JSON file per key) so
+separate sweep worker processes — and separate sweep invocations — share
+baselines; the tier is registered with the unified ``--force`` clearing.
 
 Only *unchecked, no-PaCRAM* runs are cached (:func:`cacheable`): PaCRAM
 runs depend on the swept latency factor, and checked runs must actually
@@ -26,11 +29,10 @@ from __future__ import annotations
 
 import hashlib
 import json
-from collections import OrderedDict
 from pathlib import Path
 
 from repro.errors import SimulationError
-from repro.runtime.persist import write_atomic
+from repro.runtime.cache import DigestCache
 from repro.sim.config import SystemConfig
 from repro.sim.stats import ControllerStats, CoreStats, LatencySummary
 from repro.sim.system import SimulationResult
@@ -145,7 +147,7 @@ def result_from_json(payload: dict) -> SimulationResult:
     )
 
 
-class BaselineCache:
+class BaselineCache(DigestCache):
     """Digest-bound LRU memo of baseline :class:`SimulationResult`\\ s.
 
     ``disk_dir`` adds a persistent tier: entries are written as one atomic
@@ -155,98 +157,19 @@ class BaselineCache:
     their copy freely.
     """
 
+    name = "baseline"
+    tier_subdir = "baseline_cache"
+    file_prefix = "baseline"
+
     def __init__(self, maxsize: int = DEFAULT_MAXSIZE,
                  disk_dir: str | Path | None = None) -> None:
-        if maxsize < 1:
-            raise ValueError(f"maxsize must be >= 1, got {maxsize}")
-        self.maxsize = maxsize
-        self.disk_dir = Path(disk_dir) if disk_dir is not None else None
-        self.digest: str | None = None
-        self._entries: OrderedDict[str, dict] = OrderedDict()
-        self.hits = 0
-        self.misses = 0
-        self.invalidations = 0
+        super().__init__(maxsize, disk_dir)
 
-    def __len__(self) -> int:
-        return len(self._entries)
+    def encode(self, result: SimulationResult) -> dict:
+        return result_to_json(result)
 
-    def ensure(self, digest: str) -> None:
-        """Bind the cache to ``digest``, clearing entries on code drift."""
-        if self.digest == digest:
-            return
-        if self.digest is not None:
-            self.invalidations += 1
-        self._entries.clear()
-        self.digest = digest
-
-    def _path(self, key: str) -> Path:
-        name = hashlib.sha256(key.encode()).hexdigest()[:24]
-        return self.disk_dir / f"baseline_{name}.json"
-
-    def get(self, key: str) -> SimulationResult | None:
-        entries = self._entries
-        payload = entries.get(key)
-        if payload is not None:
-            entries.move_to_end(key)
-            self.hits += 1
-            return result_from_json(payload)
-        payload = self._disk_get(key)
-        if payload is None:
-            self.misses += 1
-            return None
-        self._store_memory(key, payload)
-        self.hits += 1
+    def decode(self, payload: dict) -> SimulationResult:
         return result_from_json(payload)
 
-    def put(self, key: str, result: SimulationResult) -> None:
-        payload = result_to_json(result)
-        self._store_memory(key, payload)
-        if self.disk_dir is not None:
-            self.disk_dir.mkdir(parents=True, exist_ok=True)
-            blob = json.dumps({"digest": self.digest, "key": key,
-                               "result": payload}, sort_keys=True)
-            write_atomic(self._path(key), blob)
-
-    def _store_memory(self, key: str, payload: dict) -> None:
-        entries = self._entries
-        entries[key] = payload
-        entries.move_to_end(key)
-        if len(entries) > self.maxsize:
-            entries.popitem(last=False)
-
-    def _disk_get(self, key: str) -> dict | None:
-        if self.disk_dir is None:
-            return None
-        path = self._path(key)
-        try:
-            raw = json.loads(path.read_text())
-        except (OSError, ValueError):
-            return None  # absent or torn file: treat as a miss
-        if (not isinstance(raw, dict) or raw.get("digest") != self.digest
-                or raw.get("key") != key
-                or not isinstance(raw.get("result"), dict)):
-            return None  # stale digest or hash collision: re-simulate
-        return raw["result"]
-
-    def clear_disk(self) -> int:
-        """Delete every persisted entry (``--force``); returns the count."""
-        if self.disk_dir is None or not self.disk_dir.is_dir():
-            return 0
-        removed = 0
-        for path in sorted(self.disk_dir.glob("baseline_*.json")):
-            path.unlink()
-            removed += 1
-        return removed
-
-    def hit_rate(self) -> float:
-        total = self.hits + self.misses
-        return self.hits / total if total else 0.0
-
-    def stats(self) -> dict[str, float]:
-        return {
-            "entries": len(self._entries),
-            "hits": self.hits,
-            "misses": self.misses,
-            "invalidations": self.invalidations,
-            "hit_rate": self.hit_rate(),
-        }
+    def valid_payload(self, payload: object) -> bool:
+        return isinstance(payload, dict)

@@ -39,20 +39,16 @@ def pacram_reference_config(vendor: str,
 
 
 def effective_sim_kernel(sim_kernel: str | None, check_mode: str) -> str:
-    """Resolve the kernel a run will actually use.
+    """Deprecated shim: the kernel a run will actually use.
 
-    Protocol checking needs the scalar oracle (the checker observes every
-    command in per-request order), so any check mode other than ``"off"``
-    forces ``"scalar"`` regardless of the requested kernel — mirroring the
-    campaign CLI's forced-scalar behavior for ``--device-kernel``.
+    Resolution (including the checking-forces-the-oracle rule) lives in
+    :class:`repro.exec.ExecutionPolicy`; this survives for pre-policy
+    callers and is equivalent to
+    ``checked_kernel("sim", sim_kernel, check_protocol=check_mode)``.
     """
-    from repro.sim.kernels import default_sim_kernel, resolve_sim_kernel
+    from repro.exec import checked_kernel
 
-    if check_mode != "off":
-        return "scalar"
-    if sim_kernel is None:
-        return default_sim_kernel()
-    return resolve_sim_kernel(sim_kernel)
+    return checked_kernel("sim", sim_kernel, check_protocol=check_mode)
 
 
 def run_simulation(workload_names: tuple[str, ...], *,
@@ -89,13 +85,14 @@ def run_simulation(workload_names: tuple[str, ...], *,
         baseline_key,
         cacheable,
     )
+    from repro.exec import checked_kernel
 
     if config is None:
         config = SystemConfig(num_cores=max(1, len(workload_names)))
     traces = [workload_by_name(name, requests=requests, seed=seed + i)
               for i, name in enumerate(workload_names)]
     mode = check_protocol if check_protocol is not None else default_check_mode()
-    kernel = effective_sim_kernel(sim_kernel, mode)
+    kernel = checked_kernel("sim", sim_kernel, check_protocol=mode)
     use_cache = cache is not None and cacheable(
         pacram=pacram, checker=None if mode == "off" else mode,
         violations_path=violations_path)

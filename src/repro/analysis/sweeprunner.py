@@ -28,7 +28,9 @@ from pathlib import Path
 
 from repro.analysis.runner import pacram_reference_config, run_simulation
 from repro.errors import ConfigError, SimulationError
+from repro.exec import checked_kernel, default_policy
 from repro.runtime import LEDGER_NAME, ProgressReporter, Task, TaskPool
+from repro.runtime.cache import clear_disk_tiers
 from repro.runtime.persist import write_atomic
 from repro.sim.config import SystemConfig
 
@@ -237,17 +239,22 @@ class SweepRunner:
 
     def _task(self, point: SweepPoint) -> Task:
         path = self.row_path(point)
+        # Resolve the sim kernel once, here in the parent process (the
+        # checking-forces-the-oracle rule included), so pickled workers
+        # receive a concrete name and never resolve on their own.
+        kernel = checked_kernel("sim", self.grid.sim_kernel,
+                                check_protocol=self.grid.check_protocol)
+        cache_dir = (str(self.cache_dir())
+                     if default_policy().persistent_caches() else None)
         return Task(key=point.key, path=path, fn=_simulate_to,
                     args=(point, self.grid.requests, str(path),
-                          self.grid.check_protocol, self.grid.sim_kernel,
-                          str(self.cache_dir())))
+                          self.grid.check_protocol, kernel, cache_dir))
 
     def _clear_cache(self) -> None:
-        """Drop persisted baselines (``force=True``): a forced re-run must
-        re-simulate, not replay memoized results."""
-        from repro.analysis.baselines import BaselineCache
-
-        BaselineCache(disk_dir=self.cache_dir()).clear_disk()
+        """Drop every persisted cache tier under the results directory
+        (``force=True``): a forced re-run must re-simulate, not replay
+        memoized results from any layer."""
+        clear_disk_tiers(self.results_dir)
 
     # ------------------------------------------------------------------
     def run_point(self, point: SweepPoint, *, force: bool = False) -> SweepRow:

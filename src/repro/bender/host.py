@@ -13,12 +13,14 @@ from repro.bender.executor import ExecutionResult, ProgramExecutor
 from repro.bender.program import TestProgram
 from repro.bender.temperature import PIDTemperatureController
 from repro.dram.module import DRAMModule
-from repro.errors import ConfigError
+from repro.exec import STAGE_KERNELS, resolve_kernel
 
-#: Program-execution kernels: ``stepping`` walks every instruction through
-#: the device model (the validation path, observed by ``--check-protocol``);
-#: ``compiled`` folds each program analytically (bit-identical, faster).
-EXECUTION_KERNELS = ("stepping", "compiled")
+#: Program-execution kernels (the ``host`` stage of
+#: :data:`repro.exec.STAGE_KERNELS`): ``stepping`` walks every instruction
+#: through the device model (the validation path, observed by
+#: ``--check-protocol``); ``compiled`` folds each program analytically
+#: (bit-identical, faster).
+EXECUTION_KERNELS = STAGE_KERNELS["host"]
 
 
 class DRAMBenderHost:
@@ -26,11 +28,8 @@ class DRAMBenderHost:
 
     def __init__(self, module: DRAMModule | str, *,
                  temperature_c: float = 80.0, seed: int = 2025,
-                 kernel: str = "stepping") -> None:
-        if kernel not in EXECUTION_KERNELS:
-            raise ConfigError(
-                f"unknown execution kernel {kernel!r} "
-                f"(choose from {', '.join(EXECUTION_KERNELS)})")
+                 kernel: str | None = None) -> None:
+        kernel = resolve_kernel("host", kernel)
         if isinstance(module, str):
             module = DRAMModule(module, seed=seed, temperature_c=temperature_c)
         self.module = module

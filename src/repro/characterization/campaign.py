@@ -21,14 +21,13 @@ from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.characterization.results import ModuleCharacterization
-from repro.characterization.sweeps import (
-    CHARACTERIZATION_KERNELS,
-    characterize_module,
-)
+from repro.characterization.sweeps import characterize_module
 from repro.dram.catalog import all_module_ids
 from repro.dram.timing import TESTED_TRAS_FACTORS
 from repro.errors import CharacterizationError
+from repro.exec import checked_kernel, default_policy, validate_stage_kernel
 from repro.runtime import LEDGER_NAME, ProgressReporter, Task, TaskPool
+from repro.runtime.cache import clear_disk_tiers, summarize_caches
 from repro.validation.physics import model_digest
 
 
@@ -42,33 +41,34 @@ class CampaignConfig:
     temperatures_c: tuple[float, ...] = (80.0,)
     per_region: int = 64
     seed: int = 2025
-    #: Device kernel (see repro.characterization.sweeps); both kernels
-    #: produce bit-identical measurements.
-    kernel: str = "vectorized"
+    #: Device kernel; ``None`` resolves through the default
+    #: :class:`repro.exec.ExecutionPolicy` when tasks are built, so worker
+    #: processes receive a concrete name and never resolve on their own.
+    #: Both kernels produce bit-identical measurements.
+    kernel: str | None = None
 
     def __post_init__(self) -> None:
         if not self.module_ids:
             raise CharacterizationError("campaign needs at least one module")
         if self.per_region <= 0:
             raise CharacterizationError("per_region must be positive")
-        if self.kernel not in CHARACTERIZATION_KERNELS:
-            raise CharacterizationError(
-                f"unknown characterization kernel {self.kernel!r} "
-                f"(choose from {', '.join(CHARACTERIZATION_KERNELS)})")
+        if self.kernel is not None:
+            validate_stage_kernel("device", self.kernel)
 
 
-def _characterize_to(module_id: str, config: CampaignConfig,
-                     path: str) -> None:
+def _characterize_to(module_id: str, config: CampaignConfig, path: str,
+                     kernel: str, cache_dir: str | None) -> None:
     """Worker task: characterize one module, persist it atomically.
 
     Module-level so it pickles across the process-pool boundary; the result
-    travels back through the filesystem, not the pipe.
+    travels back through the filesystem, not the pipe.  ``kernel`` arrives
+    pre-resolved from the parent's execution policy.
     """
     result = characterize_module(
         module_id, tras_factors=config.tras_factors,
         n_prs=config.n_prs, temperatures_c=config.temperatures_c,
         per_region=config.per_region, seed=config.seed,
-        kernel=config.kernel)
+        kernel=kernel, cache_dir=cache_dir)
     result.save(path)
 
 
@@ -119,10 +119,21 @@ class CharacterizationCampaign:
         return TaskPool(jobs=jobs, ledger_path=self.ledger_path(),
                         progress=progress)
 
+    def cache_dir(self) -> Path:
+        """Where the scalar kernel's probe cache persists its entries."""
+        return self.results_dir / "probe_cache"
+
     def _task(self, module_id: str) -> Task:
         path = self.result_path(module_id)
+        # Resolve the device kernel once, here in the parent process (the
+        # checking-forces-the-oracle rule included), so pickled workers
+        # receive a concrete name and never resolve on their own.
+        kernel = checked_kernel("device", self.config.kernel)
+        persist = kernel == "scalar" and default_policy().persistent_caches()
+        cache_dir = str(self.cache_dir()) if persist else None
         return Task(key=module_id, path=path, fn=_characterize_to,
-                    args=(module_id, self.config, str(path)))
+                    args=(module_id, self.config, str(path), kernel,
+                          cache_dir))
 
     # ------------------------------------------------------------------
     def run_module(self, module_id: str, *,
@@ -131,6 +142,8 @@ class CharacterizationCampaign:
         if module_id not in self.config.module_ids:
             raise CharacterizationError(
                 f"{module_id} is not part of this campaign")
+        if force:
+            clear_disk_tiers(self.results_dir)
         pool = self._pool(jobs=1, progress=None)
         results = pool.run([self._task(module_id)],
                            loader=_load_checked, force=force)
@@ -144,7 +157,11 @@ class CharacterizationCampaign:
         ``jobs`` controls the worker-process count (``None`` = all cores);
         valid on-disk results are reused, corrupt ones quarantined and
         re-run.  The returned measurements are identical for any ``jobs``.
+        ``force`` discards persisted results *and* every registered cache
+        tier under the results directory before re-running.
         """
+        if force:
+            clear_disk_tiers(self.results_dir)
         pool = self._pool(jobs=jobs, progress=progress)
         tasks = [self._task(module_id)
                  for module_id in self.config.module_ids]
@@ -168,4 +185,5 @@ class CharacterizationCampaign:
         pending = self.pending_modules()
         if pending:
             lines.append("pending: " + ", ".join(pending))
+        lines.append(summarize_caches(self.results_dir))
         return "\n".join(lines)

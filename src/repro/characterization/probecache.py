@@ -8,17 +8,24 @@ point, the worst-case-pattern search repeating the ``hc_high`` probe, and
 bisection revisiting hammer counts across iterations — so memoizing them
 is free speedup with zero behavior change.
 
-The cache is bound to a *model digest* (:func:`repro.validation.physics.
-model_digest`), which hashes the module's calibrated spec, vendor charge
-profile, anchor curves, and retention parameters.  :meth:`ensure` compares
-the current digest against the bound one and drops every entry when they
-differ, so recalibration (or any drift in the physics tables) can never
-serve stale flip counts.
+The cache is a thin instantiation of
+:class:`repro.runtime.cache.DigestCache` (one shared implementation with
+the sweep :class:`~repro.analysis.baselines.BaselineCache`), bound to a
+*model digest* (:func:`repro.validation.physics.model_digest`) that hashes
+the module's calibrated spec, vendor charge profile, anchor curves, and
+retention parameters.  :meth:`~DigestCache.ensure` compares the current
+digest against the bound one and drops every entry when they differ, so
+recalibration (or any drift in the physics tables) can never serve stale
+flip counts.  Passing ``disk_dir`` adds the standard persistent tier
+(``probe_cache/`` under a campaign directory; registered with the unified
+``--force`` clearing).
 """
 
 from __future__ import annotations
 
-from collections import OrderedDict
+from pathlib import Path
+
+from repro.runtime.cache import DigestCache
 
 #: Probe key: (bank, victim, pattern, hammer_count, tras_red_ns, n_pr,
 #: temperature_c).  Everything a probe's outcome depends on besides the
@@ -30,60 +37,22 @@ ProbeKey = tuple
 DEFAULT_MAXSIZE = 1 << 18
 
 
-class ProbeCache:
+class ProbeCache(DigestCache):
     """Bounded LRU memo of ``perform_rh`` outcomes, keyed by probe
     coordinates and bound to a calibrated-model digest."""
 
-    def __init__(self, maxsize: int = DEFAULT_MAXSIZE) -> None:
-        if maxsize < 1:
-            raise ValueError(f"maxsize must be >= 1, got {maxsize}")
-        self.maxsize = maxsize
-        self.digest: str | None = None
-        self._entries: OrderedDict[ProbeKey, int] = OrderedDict()
-        self.hits = 0
-        self.misses = 0
-        self.invalidations = 0
+    name = "probe"
+    tier_subdir = "probe_cache"
+    file_prefix = "probe"
 
-    def __len__(self) -> int:
-        return len(self._entries)
+    def __init__(self, maxsize: int = DEFAULT_MAXSIZE,
+                 disk_dir: str | Path | None = None) -> None:
+        super().__init__(maxsize, disk_dir)
 
-    def ensure(self, digest: str) -> None:
-        """Bind the cache to ``digest``, clearing it on calibration drift."""
-        if self.digest == digest:
-            return
-        if self.digest is not None:
-            self.invalidations += 1
-        self._entries.clear()
-        self.digest = digest
+    def key_text(self, key: ProbeKey) -> str:
+        # Pattern enums stringify through their name; everything else in a
+        # probe key is a primitive with a stable repr.
+        return repr(tuple(getattr(part, "name", part) for part in key))
 
-    def get(self, key: ProbeKey) -> int | None:
-        """Cached flip count for ``key``, or ``None`` on a miss."""
-        entries = self._entries
-        try:
-            value = entries[key]
-        except KeyError:
-            self.misses += 1
-            return None
-        entries.move_to_end(key)
-        self.hits += 1
-        return value
-
-    def put(self, key: ProbeKey, flips: int) -> None:
-        entries = self._entries
-        entries[key] = flips
-        entries.move_to_end(key)
-        if len(entries) > self.maxsize:
-            entries.popitem(last=False)
-
-    def hit_rate(self) -> float:
-        total = self.hits + self.misses
-        return self.hits / total if total else 0.0
-
-    def stats(self) -> dict[str, float]:
-        return {
-            "entries": len(self._entries),
-            "hits": self.hits,
-            "misses": self.misses,
-            "invalidations": self.invalidations,
-            "hit_rate": self.hit_rate(),
-        }
+    def encode(self, value: int) -> int:
+        return int(value)

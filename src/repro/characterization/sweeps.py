@@ -27,6 +27,7 @@ from repro.characterization.vectorized import measure_rows
 from repro.dram.kernels import EvalCounters
 from repro.dram.timing import TESTED_TRAS_FACTORS
 from repro.errors import CharacterizationError
+from repro.exec import STAGE_KERNELS, resolve_kernel
 from repro.validation.physics import model_digest
 
 #: Default config for sweeps: a single iteration, because the device model
@@ -34,8 +35,9 @@ from repro.validation.physics import model_digest
 #: noise on real hardware).
 _SWEEP_CONFIG = CharacterizationConfig(iterations=1)
 
-#: Device kernels for characterization sweeps.
-CHARACTERIZATION_KERNELS = ("scalar", "vectorized")
+#: Device kernels for characterization sweeps (the ``device`` stage of
+#: :data:`repro.exec.STAGE_KERNELS`).
+CHARACTERIZATION_KERNELS = STAGE_KERNELS["device"]
 
 
 def characterize_module(module_id: str, *,
@@ -46,8 +48,9 @@ def characterize_module(module_id: str, *,
                         rows: tuple[int, ...] | None = None,
                         seed: int = 2025,
                         config: CharacterizationConfig | None = None,
-                        kernel: str = "vectorized",
+                        kernel: str | None = None,
                         counters: EvalCounters | None = None,
+                        cache_dir: str | None = None,
                         ) -> ModuleCharacterization:
     """Run the main test loop on one module across all requested test points.
 
@@ -56,16 +59,16 @@ def characterize_module(module_id: str, *,
     same three bank regions).  The nominal-latency, single-restoration
     baseline is always measured so results can be normalized.
 
-    ``kernel`` selects the device kernel (see module docstring); results
-    are bit-identical either way, including measurement order.  Pass an
-    :class:`EvalCounters` to observe the vectorized kernel's model work.
+    ``kernel`` selects the device kernel (see module docstring; ``None``
+    resolves through the default :class:`repro.exec.ExecutionPolicy`);
+    results are bit-identical either way, including measurement order.
+    Pass an :class:`EvalCounters` to observe the vectorized kernel's model
+    work.  ``cache_dir`` persists the scalar kernel's probe cache there
+    (the campaign's ``probe_cache/`` tier).
     """
     if not tras_factors:
         raise CharacterizationError("need at least one tRAS factor")
-    if kernel not in CHARACTERIZATION_KERNELS:
-        raise CharacterizationError(
-            f"unknown characterization kernel {kernel!r} "
-            f"(choose from {', '.join(CHARACTERIZATION_KERNELS)})")
+    kernel = resolve_kernel("device", kernel)
     config = config or _SWEEP_CONFIG
     host = DRAMBenderHost(module_id, temperature_c=temperatures_c[0], seed=seed)
     module = host.module
@@ -81,7 +84,7 @@ def characterize_module(module_id: str, *,
     result = ModuleCharacterization(module_id=module_id, seed=seed,
                                     model_digest=model_digest(module_id, seed))
     nominal = module.timing.tRAS
-    cache = ProbeCache() if kernel == "scalar" else None
+    cache = ProbeCache(disk_dir=cache_dir) if kernel == "scalar" else None
     for temperature in temperatures_c:
         host.set_temperature(temperature)
         if kernel == "vectorized":

@@ -33,10 +33,16 @@ from repro.characterization.campaign import (
 from repro.dram.catalog import all_module_ids, all_module_specs, module_spec
 from repro.dram.timing import TESTED_TRAS_FACTORS
 from repro.errors import ReproError
+from repro.exec import (
+    KERNEL_POLICIES,
+    ExecutionPolicy,
+    set_default_policy,
+    warn_deprecated_flag,
+)
 from repro.runtime import PrintProgress
+from repro.runtime.cache import summarize_caches
 from repro.sim.configloader import EvaluationConfig
-from repro.sim.kernels import set_default_sim_kernel
-from repro.validation import check_physics, set_default_check_mode
+from repro.validation import check_physics
 
 
 def _render(result: object) -> str:
@@ -63,26 +69,36 @@ def cmd_list(_: argparse.Namespace) -> int:
     return 0
 
 
-def _apply_sim_kernel(args: argparse.Namespace) -> str | None:
-    """Apply ``--sim-kernel`` as the process default; returns the kernel.
+def _install_policy(args: argparse.Namespace, *,
+                    check_protocol: str | None = None) -> ExecutionPolicy:
+    """Build this invocation's :class:`ExecutionPolicy` — the one place the
+    CLI decides kernels, oracle forcing, and cache tiers — and install it
+    as the process default every layer resolves against.
 
-    Protocol checking needs the scalar per-request oracle, so a batched
-    request is overridden with a note (mirroring ``--device-kernel``).
+    The old per-stage flags survive as deprecation shims: each warns once
+    and lands as the matching per-stage override, which resolves to the
+    byte-identical kernel choice.
     """
-    kernel = args.sim_kernel
-    if getattr(args, "check_protocol", None) not in (None, "off") \
-            and kernel == "batched":
-        print("note: --check-protocol requires the scalar simulation "
-              "kernel; overriding --sim-kernel", file=sys.stderr)
-        kernel = "scalar"
-    if kernel is not None:
-        set_default_sim_kernel(kernel)
-    return kernel
+    device = getattr(args, "device_kernel", None)
+    sim = getattr(args, "sim_kernel", None)
+    if device is not None:
+        warn_deprecated_flag("--device-kernel",
+                             "--kernel-policy scalar|fast|auto")
+    if sim is not None:
+        warn_deprecated_flag("--sim-kernel",
+                             "--kernel-policy scalar|fast|auto")
+    if check_protocol is None:
+        check_protocol = getattr(args, "check_protocol", None) or "off"
+    policy = ExecutionPolicy(
+        kernel_policy=getattr(args, "kernel_policy", "auto"),
+        check_protocol=check_protocol,
+        device_kernel=device, sim_kernel=sim,
+        cache_tier=getattr(args, "cache_tier", "auto"))
+    return set_default_policy(policy)
 
 
 def cmd_run(args: argparse.Namespace) -> int:
-    set_default_check_mode(args.check_protocol)
-    _apply_sim_kernel(args)
+    _install_policy(args)
     result = run_experiment(args.experiment)
     text = _render(result)
     if args.out:
@@ -110,18 +126,10 @@ def cmd_catalog(args: argparse.Namespace) -> int:
 
 
 def cmd_campaign(args: argparse.Namespace) -> int:
+    _install_policy(args)
     module_ids = (tuple(args.modules.split(","))
                   if args.modules else CampaignConfig().module_ids)
-    kernel = args.device_kernel
-    if args.check_protocol != "off" and kernel != "scalar":
-        # The protocol checker observes the instruction-stepping executor,
-        # which only the scalar kernel drives probe-by-probe.
-        print("note: --check-protocol requires the scalar device kernel; "
-              "overriding --device-kernel", file=sys.stderr)
-        kernel = "scalar"
-    _apply_sim_kernel(args)
-    config = CampaignConfig(module_ids=module_ids,
-                            per_region=args.rows, kernel=kernel)
+    config = CampaignConfig(module_ids=module_ids, per_region=args.rows)
     campaign = CharacterizationCampaign(args.dir, config)
     if args.status:
         print(campaign.summary())
@@ -133,7 +141,7 @@ def cmd_campaign(args: argparse.Namespace) -> int:
             for problem in check_physics(module_id,
                                          mode=args.check_protocol):
                 print(f"physics: {problem}", file=sys.stderr)
-    campaign.run(jobs=args.jobs, progress=PrintProgress())
+    campaign.run(jobs=args.jobs, progress=PrintProgress(), force=args.force)
     print(campaign.summary())
     return 0
 
@@ -149,9 +157,9 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             nrh_values=tuple(int(v) for v in args.nrh.split(",")),
             requests=args.requests,
             check_protocol=args.check_protocol or "off")
-    if grid.check_protocol != "off":
-        args.check_protocol = grid.check_protocol  # config-file checking
-    grid.sim_kernel = _apply_sim_kernel(args)
+    # The config file may turn checking on: build the policy from the
+    # grid's resolved mode so oracle forcing agrees with what runs.
+    _install_policy(args, check_protocol=grid.check_protocol)
     runner = SweepRunner(args.dir, grid)
     if args.status:
         done, total = runner.status()
@@ -166,6 +174,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     for (mitigation, label), series in runner.aggregate(rows).items():
         values = " ".join(f"nrh={n}:{v:.4f}" for n, v in sorted(series.items()))
         print(f"{mitigation:<9} {label:<9} {values}")
+    print(summarize_caches(args.dir))
     return 0
 
 
@@ -211,13 +220,21 @@ def build_parser() -> argparse.ArgumentParser:
                             choices=("off", "tolerant", "strict"),
                             help="attach the DDR protocol checker to every "
                                  "simulation this experiment runs")
+    run_parser.add_argument("--kernel-policy", default="auto",
+                            choices=KERNEL_POLICIES,
+                            help="execution policy for every stage: scalar "
+                                 "oracles, fast paths, or per-stage "
+                                 "defaults (results are bit-identical "
+                                 "either way; --check-protocol forces the "
+                                 "oracles)")
+    run_parser.add_argument("--cache-tier", default="auto",
+                            choices=("auto", "disk", "memory", "off"),
+                            help="memoization tiers: persist to disk, "
+                                 "memory only, or off")
     run_parser.add_argument("--sim-kernel", default=None,
                             choices=("scalar", "batched"),
-                            help="system-simulation kernel: batched "
-                                 "controller fast path (default) or the "
-                                 "scalar per-request oracle (bit-identical "
-                                 "results; scalar is forced when "
-                                 "--check-protocol is on)")
+                            help="deprecated: use --kernel-policy "
+                                 "(kept as a per-stage override)")
     run_parser.set_defaults(func=cmd_run)
 
     catalog_parser = subparsers.add_parser(
@@ -242,19 +259,28 @@ def build_parser() -> argparse.ArgumentParser:
     campaign_parser.add_argument("--check-protocol", default="off",
                                  choices=("off", "tolerant", "strict"),
                                  help="run the physics invariant guards on "
-                                      "every module before measuring")
-    campaign_parser.add_argument("--device-kernel", default="vectorized",
+                                      "every module before measuring "
+                                      "(forces the scalar oracle kernels)")
+    campaign_parser.add_argument("--kernel-policy", default="auto",
+                                 choices=KERNEL_POLICIES,
+                                 help="execution policy for every stage "
+                                      "(results are bit-identical either "
+                                      "way)")
+    campaign_parser.add_argument("--cache-tier", default="auto",
+                                 choices=("auto", "disk", "memory", "off"),
+                                 help="memoization tiers: persist to disk, "
+                                      "memory only, or off")
+    campaign_parser.add_argument("--force", action="store_true",
+                                 help="re-run every module and clear every "
+                                      "persisted cache tier under --dir")
+    campaign_parser.add_argument("--device-kernel", default=None,
                                  choices=("scalar", "vectorized"),
-                                 help="device kernel: vectorized bank-level "
-                                      "fast path (default) or the scalar "
-                                      "per-row oracle (bit-identical "
-                                      "results; scalar is forced when "
-                                      "--check-protocol is on)")
+                                 help="deprecated: use --kernel-policy "
+                                      "(kept as a per-stage override)")
     campaign_parser.add_argument("--sim-kernel", default=None,
                                  choices=("scalar", "batched"),
-                                 help="process-default system-simulation "
-                                      "kernel for any system runs this "
-                                      "campaign triggers")
+                                 help="deprecated: use --kernel-policy "
+                                      "(kept as a per-stage override)")
     campaign_parser.set_defaults(func=cmd_campaign)
 
     sweep_parser = subparsers.add_parser(
@@ -280,15 +306,23 @@ def build_parser() -> argparse.ArgumentParser:
                               help="protocol-check every grid point "
                                    "(default: the config file's setting, "
                                    "else off)")
+    sweep_parser.add_argument("--kernel-policy", default="auto",
+                              choices=KERNEL_POLICIES,
+                              help="execution policy for every grid point "
+                                   "(rows are bit-identical either way; "
+                                   "--check-protocol forces the scalar "
+                                   "oracle)")
+    sweep_parser.add_argument("--cache-tier", default="auto",
+                              choices=("auto", "disk", "memory", "off"),
+                              help="memoization tiers: persist to disk, "
+                                   "memory only, or off")
     sweep_parser.add_argument("--sim-kernel", default=None,
                               choices=("scalar", "batched"),
-                              help="simulation kernel for every grid point "
-                                   "(rows are bit-identical either way; "
-                                   "scalar is forced under "
-                                   "--check-protocol)")
+                              help="deprecated: use --kernel-policy "
+                                   "(kept as a per-stage override)")
     sweep_parser.add_argument("--force", action="store_true",
-                              help="re-run every point and clear the "
-                                   "persisted baseline cache")
+                              help="re-run every point and clear every "
+                                   "persisted cache tier under --dir")
     sweep_parser.set_defaults(func=cmd_sweep)
 
     validate_parser = subparsers.add_parser(

@@ -8,6 +8,15 @@ quarantine on resume, bounded retry with an error ledger, and a
 progress/ETA reporter.  ``jobs=1`` runs the identical code path serially.
 """
 
+from repro.runtime.cache import (
+    DigestCache,
+    cache_counters,
+    clear_disk_tiers,
+    disk_tier_entries,
+    registered_tiers,
+    reset_cache_counters,
+    summarize_caches,
+)
 from repro.runtime.engine import (
     LEDGER_MAX_BYTES,
     LEDGER_NAME,
@@ -25,6 +34,7 @@ from repro.runtime.progress import PrintProgress, ProgressReporter
 
 __all__ = [
     "CORRUPT_SUFFIX",
+    "DigestCache",
     "LEDGER_MAX_BYTES",
     "LEDGER_NAME",
     "PoolReport",
@@ -32,7 +42,13 @@ __all__ = [
     "ProgressReporter",
     "Task",
     "TaskPool",
+    "cache_counters",
+    "clear_disk_tiers",
     "discard_stale_tmp",
+    "disk_tier_entries",
     "quarantine",
+    "registered_tiers",
+    "reset_cache_counters",
+    "summarize_caches",
     "write_atomic",
 ]

@@ -35,7 +35,7 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
-from repro.errors import ConfigError, SimulationError
+from repro.errors import SimulationError
 from repro.sim.commands import ActCommand, CasCommand, PreCommand
 from repro.sim.core import CoreModel
 from repro.sim.energy import E_READ_NJ, E_WRITE_NJ
@@ -44,31 +44,42 @@ from repro.sim.stats import CoreStats
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.sim.system import MemorySystem, SimulationResult
 
-#: The selectable system-simulation kernels (``--sim-kernel``).
+#: The selectable system-simulation kernels (the ``sim`` stage of
+#: :data:`repro.exec.STAGE_KERNELS`).
 SIM_KERNELS = ("scalar", "batched")
-
-_default_kernel = "batched"
 
 
 def set_default_sim_kernel(kernel: str) -> None:
-    """Set the process-wide default simulation kernel (the CLI's knob)."""
-    global _default_kernel
-    _default_kernel = resolve_sim_kernel(kernel)
+    """Deprecated shim: set the default policy's sim-stage override.
+
+    Kernel selection lives in :mod:`repro.exec`; this survives for callers
+    of the pre-policy knob and is equivalent to
+    ``default_policy().sim_kernel = kernel``.
+    """
+    from repro.exec import (
+        default_policy,
+        validate_stage_kernel,
+        warn_deprecated_flag,
+    )
+
+    warn_deprecated_flag("set_default_sim_kernel",
+                         "repro.exec.set_default_policy")
+    default_policy().sim_kernel = validate_stage_kernel("sim", kernel)
 
 
 def default_sim_kernel() -> str:
     """The kernel simulations use when ``kernel``/``sim_kernel`` is None."""
-    return _default_kernel
+    from repro.exec import resolve_kernel
+
+    return resolve_kernel("sim")
 
 
 def resolve_sim_kernel(kernel: str | None) -> str:
-    """Validate a kernel name; ``None`` resolves to the process default."""
-    if kernel is None:
-        return _default_kernel
-    if kernel not in SIM_KERNELS:
-        raise ConfigError(
-            f"sim kernel must be one of {SIM_KERNELS}, got {kernel!r}")
-    return kernel
+    """Validate a kernel name; ``None`` resolves through the default
+    :class:`repro.exec.ExecutionPolicy`."""
+    from repro.exec import resolve_kernel
+
+    return resolve_kernel("sim", kernel)
 
 
 class Rec:

@@ -81,17 +81,15 @@ class MemorySystem:
 
         ``kernel`` selects the drain-loop implementation: ``"scalar"`` is
         the per-request oracle below, ``"batched"`` the bit-exact fast path
-        in :mod:`repro.sim.kernels`.  ``None`` uses the process default
-        (:func:`repro.sim.kernels.default_sim_kernel`) — except with an
-        observer attached, where the oracle is the safe default and the
-        fast path must be requested explicitly.
+        in :mod:`repro.sim.kernels`.  ``None`` resolves through the default
+        :class:`repro.exec.ExecutionPolicy` — with an observer attached,
+        the oracle is the safe default and the fast path must be requested
+        explicitly.
         """
-        from repro.sim.kernels import default_sim_kernel, resolve_sim_kernel
+        from repro.exec import resolve_kernel
 
-        if kernel is None:
-            kernel = ("scalar" if self.controller.observer is not None
-                      else default_sim_kernel())
-        kernel = resolve_sim_kernel(kernel)
+        kernel = resolve_kernel(
+            "sim", kernel, observer=self.controller.observer is not None)
         if kernel == "batched":
             from repro.sim.kernels import run_batched
             return run_batched(self)

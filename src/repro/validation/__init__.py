@@ -25,6 +25,7 @@ from repro.validation.checker import (
     ProtocolChecker,
     Violation,
     make_checker,
+    requires_scalar_oracle,
 )
 from repro.validation.physics import (
     MODEL_VERSION,
@@ -44,6 +45,7 @@ __all__ = [
     "make_checker",
     "model_digest",
     "physics_problems",
+    "requires_scalar_oracle",
     "set_default_check_mode",
 ]
 

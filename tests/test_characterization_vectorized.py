@@ -19,6 +19,7 @@ from repro.characterization.vectorized import measure_rows
 from repro.dram.disturbance import DataPattern
 from repro.dram.kernels import EvalCounters
 from repro.errors import CharacterizationError, ConfigError, ProgramError
+from repro.exec.parity import assert_all_parity, assert_parity
 from repro.validation.physics import model_digest
 
 FAST = CharacterizationConfig(iterations=1)
@@ -47,11 +48,13 @@ class TestScalarParity:
         nominal = scalar_host.module.timing.tRAS
         for factor, n_pr in PARITY_POINTS:
             tras = factor * nominal
-            expected = [measure_row(scalar_host, 1, row, tras_red_ns=tras,
-                                    n_pr=n_pr, config=FAST) for row in rows]
-            actual = measure_rows(vector_host, 1, rows, tras_red_ns=tras,
-                                  n_pr=n_pr, config=FAST)
-            assert actual == expected  # nrh, ber, wcdp — all fields, bit-exact
+            # nrh, ber, wcdp — all fields, bit-exact
+            assert_all_parity(
+                [measure_row(scalar_host, 1, row, tras_red_ns=tras,
+                             n_pr=n_pr, config=FAST) for row in rows],
+                measure_rows(vector_host, 1, rows, tras_red_ns=tras,
+                             n_pr=n_pr, config=FAST),
+                label="vectorized kernel")
 
     def test_batch_traits_match_per_row_traits(self, host_h5):
         fresh = DRAMBenderHost("H5")
@@ -65,9 +68,11 @@ class TestScalarParity:
 
     def test_characterize_module_kernels_identical(self):
         kw = dict(tras_factors=(0.45,), n_prs=(1, 4), per_region=4, seed=11)
-        scalar = characterize_module("S6", kernel="scalar", **kw)
-        vectorized = characterize_module("S6", kernel="vectorized", **kw)
-        assert scalar.to_json() == vectorized.to_json()
+        assert_parity(
+            lambda: characterize_module("S6", kernel="scalar", **kw).to_json(),
+            lambda: characterize_module("S6", kernel="vectorized",
+                                        **kw).to_json(),
+            label="vectorized kernel")
 
     def test_same_validation_errors(self):
         host = DRAMBenderHost("H5")
@@ -79,7 +84,7 @@ class TestScalarParity:
             measure_rows(host, 1, (3, 0))  # row 0 sits at the bank edge
 
     def test_unknown_kernel_rejected(self):
-        with pytest.raises(CharacterizationError, match="unknown"):
+        with pytest.raises(ConfigError, match="device kernel"):
             characterize_module("S6", tras_factors=(0.45,), per_region=2,
                                 kernel="warp-drive")
 
@@ -185,7 +190,7 @@ class TestCompiledExecutor:
             host.run(program)
 
     def test_unknown_host_kernel_rejected(self):
-        with pytest.raises(ConfigError, match="unknown execution kernel"):
+        with pytest.raises(ConfigError, match="host kernel"):
             DRAMBenderHost("H5", kernel="quantum")
 
 

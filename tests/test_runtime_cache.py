@@ -1,0 +1,252 @@
+"""The shared DigestCache: one memo implementation, one ``--force``.
+
+Unit tests for :mod:`repro.runtime.cache` plus property tests pinning that
+the thin instantiations (:class:`ProbeCache`, :class:`BaselineCache`)
+invalidate on digest drift *identically* — same hits, misses,
+invalidations, and surviving entries for any interleaving of operations.
+"""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.baselines import BaselineCache, baseline_code_digest
+from repro.characterization.probecache import ProbeCache
+from repro.runtime.cache import (
+    DigestCache,
+    cache_counters,
+    clear_disk_tiers,
+    disk_tier_entries,
+    registered_tiers,
+    reset_cache_counters,
+    summarize_caches,
+)
+from repro.validation.physics import model_digest
+
+
+class _PlainCache(DigestCache):
+    """Counter-isolated instantiation with no disk tier."""
+
+    name = "test-plain"
+    tier_subdir = None
+
+
+class TestDigestCacheCore:
+    def test_basic_memoization(self):
+        cache = _PlainCache(maxsize=8)
+        cache.ensure("d1")
+        assert cache.get("k") is None
+        cache.put("k", {"v": 1})
+        assert cache.get("k") == {"v": 1}
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_lru_eviction_order(self):
+        cache = _PlainCache(maxsize=2)
+        cache.ensure("d")
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1  # refresh a; b is now the oldest
+        cache.put("c", 3)
+        assert cache.get("b") is None
+        assert cache.get("a") == 1 and cache.get("c") == 3
+
+    def test_first_bind_is_not_an_invalidation(self):
+        cache = _PlainCache(maxsize=4)
+        cache.ensure("d1")
+        assert cache.invalidations == 0
+        cache.ensure("d1")
+        assert cache.invalidations == 0
+        cache.ensure("d2")
+        assert cache.invalidations == 1
+
+    def test_maxsize_validated(self):
+        with pytest.raises(ValueError):
+            _PlainCache(maxsize=0)
+
+    def test_stats_shape(self):
+        cache = _PlainCache(maxsize=4)
+        cache.ensure("d")
+        cache.put("k", 1)
+        cache.get("k")
+        cache.get("missing")
+        stats = cache.stats()
+        assert stats["entries"] == 1 and stats["hits"] == 1
+        assert stats["misses"] == 1 and stats["hit_rate"] == 0.5
+
+
+class TestTierRegistry:
+    def test_both_tiers_registered(self):
+        tiers = registered_tiers()
+        assert tiers["probe"] == ("probe_cache", "probe_*.json")
+        assert tiers["baseline"] == ("baseline_cache", "baseline_*.json")
+
+    def test_clear_disk_tiers_clears_every_tier(self, tmp_path):
+        probe = ProbeCache(disk_dir=tmp_path / "probe_cache")
+        probe.ensure("d")
+        probe.put((1, 2), 42)
+        baseline_dir = tmp_path / "baseline_cache"
+        baseline_dir.mkdir()
+        (baseline_dir / "baseline_deadbeef.json").write_text("{}")
+        assert disk_tier_entries(tmp_path) == {"baseline": 1, "probe": 1}
+        removed = clear_disk_tiers(tmp_path)
+        assert removed == {"baseline": 1, "probe": 1}
+        assert disk_tier_entries(tmp_path) == {"baseline": 0, "probe": 0}
+
+    def test_clear_missing_root_is_a_noop(self, tmp_path):
+        assert clear_disk_tiers(tmp_path / "nope") \
+            == {"baseline": 0, "probe": 0}
+
+    def test_foreign_files_survive_force(self, tmp_path):
+        (tmp_path / "probe_cache").mkdir()
+        keeper = tmp_path / "probe_cache" / "README.txt"
+        keeper.write_text("not a cache entry")
+        clear_disk_tiers(tmp_path)
+        assert keeper.exists()
+
+
+class TestUnifiedCounters:
+    def test_counters_accumulate_across_instances(self):
+        reset_cache_counters()
+        for _ in range(2):
+            cache = ProbeCache()
+            cache.ensure("d")
+            cache.get(("k",))
+            cache.put(("k",), 1)
+            cache.get(("k",))
+        counts = cache_counters()["probe"]
+        assert counts["hits"] == 2 and counts["misses"] == 2
+
+    def test_summary_lists_registered_tiers(self, tmp_path):
+        reset_cache_counters()
+        text = summarize_caches(tmp_path)
+        assert "cache baseline:" in text and "cache probe:" in text
+        assert "persisted=0" in text
+
+    def test_summary_without_root_skips_persisted(self):
+        reset_cache_counters()
+        cache = ProbeCache()
+        cache.ensure("d")
+        cache.get(("k",))
+        text = summarize_caches()
+        assert "misses=1" in text and "persisted" not in text
+
+
+class TestProbeDiskTier:
+    def test_roundtrip_across_instances(self, tmp_path):
+        digest = model_digest("S6", 2025)
+        cache = ProbeCache(disk_dir=tmp_path)
+        cache.ensure(digest)
+        cache.put((1, 5, "ROW_STRIPE", 1000, 14.85, 1, 80.0), 7)
+        fresh = ProbeCache(disk_dir=tmp_path)
+        fresh.ensure(digest)
+        assert fresh.get((1, 5, "ROW_STRIPE", 1000, 14.85, 1, 80.0)) == 7
+        assert fresh.hits == 1 and fresh.misses == 0
+
+    def test_model_drift_ignores_persisted_probes(self, tmp_path):
+        cache = ProbeCache(disk_dir=tmp_path)
+        cache.ensure(model_digest("S6", 2025))
+        cache.put((1, 5), 7)
+        fresh = ProbeCache(disk_dir=tmp_path)
+        fresh.ensure(model_digest("S6", 2026))  # recalibrated model
+        assert fresh.get((1, 5)) is None
+
+    def test_non_integer_payload_rejected_on_disk_read(self, tmp_path):
+        cache = ProbeCache(disk_dir=tmp_path)
+        cache.ensure("d")
+        cache.put((1,), 7)
+        path = next(tmp_path.glob("probe_*.json"))
+        blob = json.loads(path.read_text())
+        assert blob["digest"] == "d" and blob["result"] == 7
+
+
+_DIGESTS = st.sampled_from(
+    [model_digest("S6", 2025), model_digest("H5", 2025),
+     model_digest("S6", 2026), baseline_code_digest()])
+_OPS = st.lists(
+    st.one_of(
+        st.tuples(st.just("ensure"), _DIGESTS),
+        st.tuples(st.just("put"), st.integers(0, 5)),
+        st.tuples(st.just("get"), st.integers(0, 5))),
+    min_size=1, max_size=40)
+
+
+class TestDriftParityProperty:
+    """Satellite: the shared implementation must invalidate on digest
+    drift exactly like both pre-unification caches did, for any operation
+    interleaving."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(ops=_OPS)
+    def test_probe_and_baseline_invalidate_identically(self, ops):
+        probe = ProbeCache(maxsize=8)
+        plain = _PlainCache(maxsize=8)
+        for op, arg in ops:
+            if op == "ensure":
+                probe.ensure(arg)
+                plain.ensure(arg)
+            elif op == "put":
+                probe.put((arg,), arg)
+                plain.put((arg,), arg)
+            else:
+                a = probe.get((arg,))
+                b = plain.get((arg,))
+                assert a == b
+            assert len(probe) == len(plain)
+            assert probe.digest == plain.digest
+        assert probe.invalidations == plain.invalidations
+        assert probe.hits == plain.hits and probe.misses == plain.misses
+
+    @settings(max_examples=40, deadline=None)
+    @given(digests=st.lists(_DIGESTS, min_size=1, max_size=20))
+    def test_invalidations_count_digest_changes(self, digests):
+        cache = BaselineCache(maxsize=4)
+        changes = 0
+        previous = None
+        for digest in digests:
+            cache.ensure(digest)
+            if previous is not None and digest != previous:
+                changes += 1
+            previous = digest
+        assert cache.invalidations == changes
+
+
+class TestForceClearsProbeTier:
+    """Satellite: ``sweep --force`` must clear *every* persisted tier under
+    the results dir — including a stale probe tier — not just baselines."""
+
+    def test_runner_force_routes_through_registry(self, tmp_path):
+        from repro.analysis.sweeprunner import SweepGrid, SweepRunner
+
+        results = tmp_path / "sweep"
+        probe_dir = results / "probe_cache"
+        stale = ProbeCache(disk_dir=probe_dir)
+        stale.ensure("stale-model")
+        stale.put((1, 2, 3), 9)
+        grid = SweepGrid(mitigations=("Graphene",), nrh_values=(128,),
+                         pacram_vendors=(None,),
+                         workload_sets=(("spec06.mcf",),), requests=300)
+        runner = SweepRunner(results, grid)
+        runner.run(jobs=1)
+        assert list(runner.cache_dir().glob("baseline_*.json"))
+        assert list(probe_dir.glob("probe_*.json"))
+        runner._clear_cache()
+        assert not list(runner.cache_dir().glob("baseline_*.json"))
+        assert not list(probe_dir.glob("probe_*.json"))
+
+    def test_cli_force_clears_all_tiers(self, tmp_path):
+        from repro.cli import main
+
+        results = tmp_path / "sweep"
+        probe_dir = results / "probe_cache"
+        stale = ProbeCache(disk_dir=probe_dir)
+        stale.ensure("stale-model")
+        stale.put((1,), 2)
+        argv = ["sweep", "--dir", str(results), "--jobs", "1",
+                "--mitigations", "Graphene", "--nrh", "128",
+                "--requests", "300"]
+        assert main(argv) == 0
+        assert list(probe_dir.glob("probe_*.json"))  # untouched resume
+        assert main(argv + ["--force"]) == 0
+        assert not list(probe_dir.glob("probe_*.json"))

@@ -9,12 +9,11 @@ contract on directed configurations; ``test_property_sim_parity.py``
 fuzzes it.
 """
 
-from dataclasses import asdict
-
 import pytest
 
 from repro.analysis.runner import effective_sim_kernel
 from repro.errors import ConfigError
+from repro.exec.parity import assert_all_parity, assert_parity
 from repro.mitigations import MITIGATION_CLASSES, make_mitigation
 from repro.mitigations.batched import (
     BatchedGraphene,
@@ -103,24 +102,24 @@ class TestKernelParity:
     def test_single_core_all_mitigations(self, single_core_config, mitigation):
         scalar, batched = _run_pair(single_core_config, [3],
                                     mitigation=mitigation)
-        assert asdict(scalar) == asdict(batched)
+        assert_parity(scalar, batched)
 
     @pytest.mark.parametrize("mitigation", ["PARA", "Hydra", "Graphene"])
     def test_batched_mitigation_variants(self, single_core_config, mitigation):
         scalar, batched = _run_pair(single_core_config, [3],
                                     mitigation=mitigation, nrh=64,
                                     batched_mitigation=True)
-        assert asdict(scalar) == asdict(batched)
+        assert_parity(scalar, batched)
 
     def test_multicore(self, quad_core_config):
         scalar, batched = _run_pair(quad_core_config, [1, 2, 3, 4],
                                     mitigation="PARA")
-        assert asdict(scalar) == asdict(batched)
+        assert_parity(scalar, batched)
 
     def test_write_heavy_forwarding(self, single_core_config):
         scalar, batched = _run_pair(single_core_config, [9],
                                     write_fraction=0.7, locality=0.2)
-        assert asdict(scalar) == asdict(batched)
+        assert_parity(scalar, batched)
         assert scalar.controller_stats.forwarded_reads > 0
 
     def test_pacram_policy(self, single_core_config):
@@ -131,7 +130,7 @@ class TestKernelParity:
         scalar, batched = _run_pair(
             single_core_config, [5], mitigation="PARA", nrh=8,
             policy_factory=lambda cfg: PaCRAM(cfg, pacram))
-        assert asdict(scalar) == asdict(batched)
+        assert_parity(scalar, batched)
         assert scalar.controller_stats.preventive_refresh_partial > 0
 
     def test_mitigation_counters(self, single_core_config):
@@ -145,7 +144,7 @@ class TestKernelParity:
                          mitigation=ms).run("scalar")
             MemorySystem(single_core_config, traces_b,
                          mitigation=mb).run("batched")
-            assert asdict(ms.counters) == asdict(mb.counters)
+            assert_parity(ms.counters, mb.counters)
 
 
 class _RecordingObserver:
@@ -174,7 +173,8 @@ class TestObserverStreamParity:
                 observer=observer)
             system.run(kernel)
             streams.append(observer)
-        assert streams[0].events == streams[1].events
+        assert_all_parity(streams[0].events, streams[1].events,
+                          label="batched command stream")
         assert streams[0].finalized == streams[1].finalized
         assert len(streams[0].events) > 0
 
