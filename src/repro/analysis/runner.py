@@ -111,7 +111,8 @@ def run_simulation(workload_names: tuple[str, ...], *,
         policy = PaCRAM(config, pacram)
         effective_nrh = pacram.scaled_nrh(nrh)
     mechanism = make_mitigation(mitigation, effective_nrh,
-                                batched=(kernel == "batched"), config=config)
+                                batched=(kernel in ("batched", "array")),
+                                config=config)
     checker = make_checker(
         config, mode=mode,
         partial_limit=(policy.partial_restoration_limit()

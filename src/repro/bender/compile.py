@@ -294,3 +294,45 @@ def run_compiled(module: DRAMModule, program: TestProgram) -> ExecutionResult:
     return ExecutionResult(bitflips=compiled.bitflips,
                            duration_ns=compiled.duration_ns,
                            instructions_executed=compiled.instructions)
+
+
+def fold_probe_states(timing, columns_per_row: int, tras_red_ns: float,
+                      n_pr: int, hammer_counts) -> tuple:
+    """Fold a batch of ``perform_rh`` programs' doses as array ops.
+
+    The array-tier form of the per-probe analytic fold: for a vector of
+    hammer counts (one per victim row, as the bisection diverges per row),
+    returns ``(wait_ns, equivalent)`` float64 arrays — the victim's idle
+    time since its last restoration at the read, and its per-aggressor
+    double-sided dose.  Every elementwise operation replicates the scalar
+    fold's expression order (see
+    :func:`repro.characterization.vectorized._probe_state`), so the folded
+    doses are bit-identical to stepping each program.
+    """
+    import numpy as np
+
+    from repro.dram.disturbance import BLAST_RADIUS_WEIGHTS
+
+    hc = np.asarray(hammer_counts, dtype=np.int64)
+    write_ns = (timing.tRCD + columns_per_row * timing.tCCD
+                + timing.tWR + timing.tRP)
+    clock = 0.0
+    clock += write_ns  # WriteRow victim (last_restore := 0.0)
+    clock += write_ns  # WriteRow aggressor 1
+    clock += write_ns  # WriteRow aggressor 2
+    last_restore = 0.0
+    if n_pr > TestProgram.UNROLL_LIMIT:
+        last_restore = clock
+        clock += n_pr * (tras_red_ns + timing.tRP)
+    else:
+        for _ in range(n_pr):
+            last_restore = clock
+            clock += tras_red_ns + timing.tRP
+    hammered = hc > 0
+    near = np.where(hammered, (0.0 + hc) + hc, 0.0)
+    clock = np.where(hammered, clock + hc * 2 * timing.tRC, clock)
+    clock = np.where(clock < timing.tREFW,
+                     clock + (timing.tREFW - clock), clock)
+    wait_ns = np.maximum(0.0, clock - last_restore)
+    equivalent = (near + BLAST_RADIUS_WEIGHTS[2] * 0.0) / 2.0
+    return wait_ns, equivalent

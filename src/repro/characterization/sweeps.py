@@ -1,16 +1,19 @@
 """Characterization campaigns: the sweeps behind Figs. 6-12.
 
 Every sweep runs exactly the paper's Algorithm 1 at many test points,
-through one of two device kernels:
+through one of three device kernels:
 
 * ``vectorized`` (default) — :func:`~repro.characterization.vectorized.
   measure_rows` measures the whole row batch per test point through the
   bank-level kernels;
+* ``array`` — :func:`~repro.characterization.arraykernel.measure_rows_array`
+  drives the same batch through the analytic flips-vs-none predicate, with
+  no per-probe model evaluations inside the bisection;
 * ``scalar`` — a thin loop over :func:`~repro.characterization.algorithm1.
   measure_row` with a shared :class:`ProbeCache`, the parity oracle for the
-  fast path.
+  fast paths.
 
-Both kernels produce bit-identical results (the parity suite asserts it).
+All kernels produce bit-identical results (the parity suite asserts it).
 The full-scale paper campaign (3K rows x 7 latencies x many restoration
 counts x 3 temperatures x 30 modules) is supported but slow; callers pick
 the scale through ``per_region`` and the swept values.
@@ -20,6 +23,7 @@ from __future__ import annotations
 
 from repro.bender.host import DRAMBenderHost
 from repro.characterization.algorithm1 import CharacterizationConfig, measure_row
+from repro.characterization.arraykernel import measure_rows_array
 from repro.characterization.probecache import ProbeCache
 from repro.characterization.results import ModuleCharacterization
 from repro.characterization.rows import select_test_bank, select_test_rows
@@ -87,13 +91,15 @@ def characterize_module(module_id: str, *,
     cache = ProbeCache(disk_dir=cache_dir) if kernel == "scalar" else None
     for temperature in temperatures_c:
         host.set_temperature(temperature)
-        if kernel == "vectorized":
+        if kernel in ("vectorized", "array"):
             # Measure all rows per test point in one batch, then emit the
             # measurements in the same order the scalar loop would.
+            batch_measure = (measure_rows_array if kernel == "array"
+                             else measure_rows)
             by_point: dict[tuple[float, int], list] = {}
             for factor in factors:
                 for n_pr in n_pr_values:
-                    by_point[(factor, n_pr)] = measure_rows(
+                    by_point[(factor, n_pr)] = batch_measure(
                         host, bank, rows,
                         tras_red_ns=factor * nominal,
                         n_pr=n_pr, config=config, counters=counters)

@@ -83,10 +83,10 @@ def _install_policy(args: argparse.Namespace, *,
     sim = getattr(args, "sim_kernel", None)
     if device is not None:
         warn_deprecated_flag("--device-kernel",
-                             "--kernel-policy scalar|fast|auto")
+                             "--kernel-policy scalar|fast|array|auto")
     if sim is not None:
         warn_deprecated_flag("--sim-kernel",
-                             "--kernel-policy scalar|fast|auto")
+                             "--kernel-policy scalar|fast|array|auto")
     if check_protocol is None:
         check_protocol = getattr(args, "check_protocol", None) or "off"
     policy = ExecutionPolicy(
@@ -223,9 +223,10 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--kernel-policy", default="auto",
                             choices=KERNEL_POLICIES,
                             help="execution policy for every stage: scalar "
-                                 "oracles, fast paths, or per-stage "
-                                 "defaults (results are bit-identical "
-                                 "either way; --check-protocol forces the "
+                                 "oracles, fast paths, numpy array "
+                                 "tiers, or per-stage defaults "
+                                 "(results are bit-identical either "
+                                 "way; --check-protocol forces the "
                                  "oracles)")
     run_parser.add_argument("--cache-tier", default="auto",
                             choices=("auto", "disk", "memory", "off"),

@@ -214,11 +214,17 @@ class BankTraits:
                 flips[j] = max(count, 1)
         return flips
 
-    def retention_flips(self, *, factor: float = 1.0, n_pr: int = 1,
+    def retention_fails(self, *, factor: float = 1.0, n_pr: int = 1,
                         wait_ns: np.ndarray,
                         temperature_c: float = 80.0,
                         idx: np.ndarray | None = None) -> np.ndarray:
-        """Vector form of :meth:`RowPopulation.retention_flips`."""
+        """Which rows of ``idx`` lose retention after idling ``wait_ns``.
+
+        The boolean predicate underneath :meth:`retention_flips` — pure
+        vector arithmetic (no transcendentals), so the array kernel's
+        bisection can test flips-vs-none without evaluating flip counts.
+        ``retention_flips(...) > 0`` equals this exactly.
+        """
         if idx is None:
             idx = self._all_idx()
         charge = self.charge
@@ -229,14 +235,24 @@ class BankTraits:
                       * margin / charge._temperature_retention_scale(temperature_c))
         wait = np.asarray(wait_ns, dtype=np.float64)
         if factor >= 1.0:
-            fails = capability < wait
-        else:
-            limit = charge.npcr_limit(factor)
-            if n_pr > limit:
-                fails = strength <= charge._overrun_survivor_strength(n_pr, limit)
-            else:
-                capability = np.maximum(capability, 64 * MS * 1.02 * strength)
-                fails = capability < wait
+            return capability < wait
+        limit = charge.npcr_limit(factor)
+        if n_pr > limit:
+            return strength <= charge._overrun_survivor_strength(n_pr, limit)
+        capability = np.maximum(capability, 64 * MS * 1.02 * strength)
+        return capability < wait
+
+    def retention_flips(self, *, factor: float = 1.0, n_pr: int = 1,
+                        wait_ns: np.ndarray,
+                        temperature_c: float = 80.0,
+                        idx: np.ndarray | None = None) -> np.ndarray:
+        """Vector form of :meth:`RowPopulation.retention_flips`."""
+        if idx is None:
+            idx = self._all_idx()
+        fails = self.retention_fails(factor=factor, n_pr=n_pr,
+                                     wait_ns=wait_ns,
+                                     temperature_c=temperature_c, idx=idx)
+        wait = np.asarray(wait_ns, dtype=np.float64)
         flips = np.zeros(len(idx), dtype=np.int64)
         if fails.any():
             for j in np.nonzero(fails)[0]:

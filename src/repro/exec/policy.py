@@ -10,13 +10,15 @@ asks it which concrete kernel to run.
 
 Stages and their kernels::
 
-    stage     scalar oracle   fast path
-    device    scalar          vectorized   (repro.dram.kernels)
-    sim       scalar          batched      (repro.sim.kernels)
-    host      stepping        compiled     (repro.bender.compile)
+    stage     scalar oracle   fast path    array tier
+    device    scalar          vectorized   array        (repro.dram.kernels)
+    sim       scalar          batched      array        (repro.sim.kernels)
+    host      stepping        compiled     -            (repro.bender.compile)
 
 ``kernel_policy`` selects per stage: ``"scalar"`` runs every oracle,
-``"fast"`` every fast path, and ``"auto"`` (default) the stage's historical
+``"fast"`` every fast path, ``"array"`` the numpy structure-of-arrays tier
+(falling back to the fastest kernel on stages without one — the host
+stage's compiled fold), and ``"auto"`` (default) the stage's historical
 default (vectorized / batched / stepping).  Per-stage overrides
 (``device_kernel`` / ``sim_kernel`` / ``host_kernel`` — the old CLI flags'
 deprecation targets) beat the policy; an explicit kernel passed at a call
@@ -39,10 +41,13 @@ from dataclasses import dataclass, field, replace
 
 from repro.errors import ConfigError
 
-#: Per-stage kernel names: stage -> (scalar oracle, fast path).
-STAGE_KERNELS: dict[str, tuple[str, str]] = {
-    "device": ("scalar", "vectorized"),
-    "sim": ("scalar", "batched"),
+#: Per-stage kernel names: stage -> (scalar oracle, fast path[, array
+#: tier]).  The first name is always the oracle, the second the historical
+#: fast path; stages with a numpy structure-of-arrays backend list it
+#: third.
+STAGE_KERNELS: dict[str, tuple[str, ...]] = {
+    "device": ("scalar", "vectorized", "array"),
+    "sim": ("scalar", "batched", "array"),
     "host": ("stepping", "compiled"),
 }
 
@@ -56,8 +61,10 @@ AUTO_KERNELS: dict[str, str] = {
     "host": "stepping",
 }
 
-#: The selectable policies (``--kernel-policy``).
-KERNEL_POLICIES = ("scalar", "fast", "auto")
+#: The selectable policies (``--kernel-policy``).  ``array`` picks each
+#: stage's structure-of-arrays tier where one exists and the fastest
+#: remaining kernel elsewhere.
+KERNEL_POLICIES = ("scalar", "fast", "array", "auto")
 
 
 def _check_modes() -> tuple[str, ...]:
@@ -138,7 +145,8 @@ class ExecutionPolicy:
         stage) the attached-observer safety default, then the policy's
         per-stage override, then ``kernel_policy``.
         """
-        scalar, fast = STAGE_KERNELS[stage]
+        names = STAGE_KERNELS[stage]
+        scalar = names[0]
         if explicit is not None:
             return validate_stage_kernel(stage, explicit)
         if observer:
@@ -152,7 +160,11 @@ class ExecutionPolicy:
         if self.kernel_policy == "scalar":
             return scalar
         if self.kernel_policy == "fast":
-            return fast
+            return names[1]
+        if self.kernel_policy == "array":
+            # The stage's array tier, or the fastest kernel it has (the
+            # host stage folds doses analytically either way).
+            return names[-1]
         return AUTO_KERNELS[stage]
 
     def checked_kernel_for(self, stage: str, explicit: str | None = None, *,
@@ -170,7 +182,7 @@ class ExecutionPolicy:
             raise ConfigError(
                 f"check-protocol mode must be one of {_check_modes()}, "
                 f"got {mode!r}")
-        scalar, _ = STAGE_KERNELS[stage]
+        scalar = STAGE_KERNELS[stage][0]
         if not _requires_oracle(mode):
             return self.kernel_for(stage, explicit)
         if self.kernel_for(stage, explicit) != scalar:

@@ -40,6 +40,11 @@ from repro.mitigations.para import PARA, PARA_STRENGTH
 #: Uniform draws fetched per refill of BatchedPARA's buffer.
 DRAW_BLOCK = 4096
 
+#: Shared do-nothing result for the (dominant) no-action path: one list
+#: allocation per activation adds up over million-activation sweeps.
+#: Callers only iterate / truth-test action lists, never mutate them.
+_NO_ACTIONS: list[Action] = []
+
 #: Default row-address space for BatchedHydra's packed integer keys; any
 #: bound >= the system's rows_per_bank keeps the packing collision-free.
 DEFAULT_ROWS_PER_BANK = 65_536
@@ -56,9 +61,12 @@ class BatchedPARA(PARA):
         self._buffer_len = 0
 
     def _draw(self) -> float:
+        # The block is converted to Python floats once per refill: float64
+        # -> float is exact, and both the indexing and the comparison in
+        # on_activation then skip the numpy scalar machinery.
         pos = self._buffer_pos
         if pos >= self._buffer_len:
-            self._buffer = self._rng.random(DRAW_BLOCK)
+            self._buffer = self._rng.random(DRAW_BLOCK).tolist()
             self._buffer_len = DRAW_BLOCK
             pos = 0
         self._buffer_pos = pos + 1
@@ -67,10 +75,22 @@ class BatchedPARA(PARA):
     def on_activation(self, flat_bank: int, row: int,
                       now_ns: float) -> list[Action]:
         self.counters.activations_observed += 1
-        if self._draw() >= self.probability:
-            return []
+        pos = self._buffer_pos
+        if pos >= self._buffer_len:
+            self._buffer = self._rng.random(DRAW_BLOCK).tolist()
+            self._buffer_len = DRAW_BLOCK
+            pos = 0
+        self._buffer_pos = pos + 1
+        if self._buffer[pos] >= self.probability:
+            return _NO_ACTIONS
         self.counters.triggers += 1
-        side = (1, 2) if self._draw() < 0.5 else (-1, -2)
+        pos = self._buffer_pos
+        if pos >= self._buffer_len:
+            self._buffer = self._rng.random(DRAW_BLOCK).tolist()
+            self._buffer_len = DRAW_BLOCK
+            pos = 0
+        self._buffer_pos = pos + 1
+        side = (1, 2) if self._buffer[pos] < 0.5 else (-1, -2)
         return [PreventiveRefresh(flat_bank, row, victim_offsets=side)]
 
 
@@ -93,7 +113,7 @@ class BatchedGraphene(Graphene):
             tables[flat_bank] = table
         count = table.observe(row)
         if count < self.threshold:
-            return []
+            return _NO_ACTIONS
         table.reset_row(row)
         self.counters.triggers += 1
         return [PreventiveRefresh(flat_bank, row)]
@@ -130,7 +150,7 @@ class BatchedHydra(Hydra):
             gct.extend([0] * (gct_index + 1 - len(gct)))
         if gct[gct_index] < self.group_threshold:
             gct[gct_index] += 1
-            return []
+            return _NO_ACTIONS
         # Hot group: per-row tracking through the RCC, RCT in DRAM behind it.
         actions: list[Action] = []
         rcc = self._rcc_flat

@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import weakref
 from collections import OrderedDict
 from pathlib import Path
 from typing import Any
@@ -35,6 +36,11 @@ from repro.runtime.persist import write_atomic
 #: Registered disk tiers: cache name -> (subdir, file glob).  Populated at
 #: class-definition time by :meth:`DigestCache.__init_subclass__`.
 _TIER_REGISTRY: dict[str, tuple[str, str]] = {}
+
+#: Live cache instances (all subclasses, disk-backed or not), so a
+#: module-level ``--force`` can drop in-memory tiers of caches that are
+#: still serving in this process — not just their persisted files.
+_INSTANCES: "weakref.WeakSet[DigestCache]" = weakref.WeakSet()
 
 #: Process-wide counters per cache name, accumulated across every instance
 #: (including short-lived per-worker ones): the unified stats surfaced in
@@ -66,6 +72,15 @@ def clear_disk_tiers(root: str | Path) -> dict[str, int]:
                 path.unlink()
                 count += 1
         removed[name] = count
+    # Unlinking files is not enough: a cache instance alive in this
+    # process would keep serving the same stale payloads from its memory
+    # tier.  Drop the memory tier of every live instance whose disk tier
+    # lives under ``root`` (and of memory-only instances, which cannot be
+    # scoped to a directory), so a forced re-run truly recomputes.
+    for cache in list(_INSTANCES):
+        if cache.disk_dir is None or root in cache.disk_dir.parents \
+                or cache.disk_dir == root:
+            cache.clear_memory()
     return removed
 
 
@@ -103,6 +118,7 @@ def summarize_caches(root: str | Path | None = None) -> str:
     for name in names:
         counts = _COUNTERS.get(name, {})
         parts = [f"hits={counts.get('hits', 0)}",
+                 f"disk_hits={counts.get('disk_hits', 0)}",
                  f"misses={counts.get('misses', 0)}",
                  f"invalidations={counts.get('invalidations', 0)}"]
         if root is not None:
@@ -113,7 +129,7 @@ def summarize_caches(root: str | Path | None = None) -> str:
 
 def _count(name: str, counter: str, amount: int = 1) -> None:
     totals = _COUNTERS.setdefault(
-        name, {"hits": 0, "misses": 0, "invalidations": 0})
+        name, {"hits": 0, "disk_hits": 0, "misses": 0, "invalidations": 0})
     totals[counter] += amount
 
 
@@ -148,10 +164,12 @@ class DigestCache:
         self.maxsize = maxsize
         self.disk_dir = Path(disk_dir) if disk_dir is not None else None
         self.digest: str | None = None
-        self._entries: OrderedDict[Any, Any] = OrderedDict()
+        self._entries: OrderedDict[str, Any] = OrderedDict()
         self.hits = 0
+        self.disk_hits = 0
         self.misses = 0
         self.invalidations = 0
+        _INSTANCES.add(self)
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -160,8 +178,26 @@ class DigestCache:
     # codec hooks
     # ------------------------------------------------------------------
     def key_text(self, key: Any) -> str:
-        """Stable string identity of ``key`` (must be injective)."""
-        return key if isinstance(key, str) else json.dumps(key, default=str)
+        """Stable string identity of ``key`` (must be injective).
+
+        Canonical JSON: sorted mapping keys and fixed separators, so
+        logically equal keys (``{"a": 1, "b": 2}`` vs. insertion-reversed)
+        share one memory entry and one disk file.
+        """
+        return key if isinstance(key, str) else json.dumps(
+            key, sort_keys=True, separators=(",", ":"), default=str)
+
+    def legacy_key_texts(self, key: Any) -> tuple[str, ...]:
+        """Superseded serializations of ``key`` still valid on disk.
+
+        Entries persisted before :meth:`key_text` canonicalized (no key
+        sorting, default separators) live at paths derived from the old
+        text; a disk miss probes these and migrates any match to the
+        canonical path.
+        """
+        if isinstance(key, str):
+            return ()
+        return (json.dumps(key, default=str),)
 
     def encode(self, value: Any) -> Any:
         """Value -> JSON-safe payload (raise to refuse caching it)."""
@@ -189,61 +225,110 @@ class DigestCache:
         self.digest = digest
 
     def get(self, key: Any) -> Any | None:
+        # The memory tier keys on the canonical text, so logically equal
+        # keys (and unhashable ones, like plain dicts) collapse to one
+        # entry in both tiers.
+        text = self.key_text(key)
         entries = self._entries
         try:
-            payload = entries[key]
+            payload = entries[text]
         except KeyError:
-            payload = self._disk_get(key)
+            payload = self._disk_get(key, text)
             if payload is None:
                 self.misses += 1
                 _count(self.name, "misses")
                 return None
-            self._store_memory(key, payload)
+            self._store_memory(text, payload)
+            self.disk_hits += 1
+            _count(self.name, "disk_hits")
         else:
-            entries.move_to_end(key)
+            entries.move_to_end(text)
         self.hits += 1
         _count(self.name, "hits")
         return self.decode(payload)
 
     def put(self, key: Any, value: Any) -> None:
         payload = self.encode(value)
-        self._store_memory(key, payload)
+        text = self.key_text(key)
+        self._store_memory(text, payload)
         if self.disk_dir is not None:
-            self.disk_dir.mkdir(parents=True, exist_ok=True)
-            blob = json.dumps({"digest": self.digest,
-                               "key": self.key_text(key),
-                               "result": payload}, sort_keys=True)
-            write_atomic(self._path(key), blob)
+            self._disk_put(text, payload)
 
-    def _store_memory(self, key: Any, payload: Any) -> None:
+    def _store_memory(self, text: str, payload: Any) -> None:
         entries = self._entries
-        entries[key] = payload
-        entries.move_to_end(key)
+        entries[text] = payload
+        entries.move_to_end(text)
         if len(entries) > self.maxsize:
             entries.popitem(last=False)
+
+    def clear_memory(self) -> None:
+        """Drop every memory-tier entry and unbind the digest.
+
+        Part of the ``--force`` contract: the next :meth:`ensure` rebinds
+        without counting an invalidation, and every :meth:`get` recomputes.
+        """
+        self._entries.clear()
+        self.digest = None
 
     # ------------------------------------------------------------------
     # disk tier
     # ------------------------------------------------------------------
     def _path(self, key: Any) -> Path:
-        digest = hashlib.sha256(self.key_text(key).encode()).hexdigest()[:24]
+        return self._path_for(self.key_text(key))
+
+    def _path_for(self, text: str) -> Path:
+        digest = hashlib.sha256(text.encode()).hexdigest()[:24]
         return self.disk_dir / f"{self.file_prefix}_{digest}.json"
 
-    def _disk_get(self, key: Any) -> Any | None:
-        if self.disk_dir is None:
-            return None
+    def _disk_put(self, text: str, payload: Any) -> None:
+        self.disk_dir.mkdir(parents=True, exist_ok=True)
+        blob = json.dumps({"digest": self.digest, "key": text,
+                           "result": payload}, sort_keys=True)
+        write_atomic(self._path_for(text), blob)
+
+    def _read_disk(self, path: Path, text: str) -> Any | None:
         try:
-            raw = json.loads(self._path(key).read_text())
+            raw = json.loads(path.read_text())
         except (OSError, ValueError):
             return None  # absent or torn file: treat as a miss
         if (not isinstance(raw, dict) or raw.get("digest") != self.digest
-                or raw.get("key") != self.key_text(key)
+                or raw.get("key") != text
                 or not self.valid_payload(raw.get("result"))):
             return None  # stale digest or hash collision: recompute
         return raw["result"]
 
+    def _disk_get(self, key: Any, text: str | None = None) -> Any | None:
+        if self.disk_dir is None:
+            return None
+        if text is None:
+            text = self.key_text(key)
+        payload = self._read_disk(self._path_for(text), text)
+        if payload is not None:
+            return payload
+        # Migration: entries persisted under a superseded serialization
+        # are rewritten at the canonical path and the old file removed.
+        for legacy in self.legacy_key_texts(key):
+            if legacy == text:
+                continue
+            legacy_path = self._path_for(legacy)
+            payload = self._read_disk(legacy_path, legacy)
+            if payload is not None:
+                self._disk_put(text, payload)
+                try:
+                    legacy_path.unlink()
+                except OSError:
+                    pass  # a parallel worker migrated it first
+                return payload
+        return None
+
     def clear_disk(self) -> int:
-        """Delete every persisted entry (``--force``); returns the count."""
+        """Delete every persisted entry (``--force``); returns the count.
+
+        Also drops the memory tier and unbinds the digest: a live instance
+        must not keep serving payloads whose persisted twins were just
+        discarded.
+        """
+        self.clear_memory()
         if self.disk_dir is None or not self.disk_dir.is_dir():
             return 0
         removed = 0
@@ -263,6 +348,7 @@ class DigestCache:
         return {
             "entries": len(self._entries),
             "hits": self.hits,
+            "disk_hits": self.disk_hits,
             "misses": self.misses,
             "invalidations": self.invalidations,
             "hit_rate": self.hit_rate(),

@@ -1,0 +1,743 @@
+"""Structure-of-arrays system-simulation drain loop (the sim ``array`` tier).
+
+The batched kernel (:mod:`repro.sim.kernels`) already avoids per-request
+dataclass churn, but still pays for one ``__slots__`` record per request,
+attribute-keyed ``insort``/``bisect`` calls, and a method call into the
+bank/rank/channel timeline objects for every timing constraint.  This
+module keeps the whole simulation state columnar:
+
+* :class:`ArrayCore` precomputes each request's frontend fetch time and
+  retirement position once per trace (the frontend chain is independent
+  of load completions — window stalls gate *emission*, not the chain), so
+  the per-request pump work collapses to a window check, one ``max``, and
+  a direct ``insort`` into the shared queues;
+* a queued request is one self-contained tuple ``(arrival, rid, flat,
+  row, is_read, address, core, rank, channel, group)`` whose native
+  ordering reproduces the scalar queue's arrival-then-FCFS order (rids
+  increase in enqueue order), so ``insort``/``bisect`` run without key
+  callables, the FR-FCFS scan indexes plain tuples, and the only
+  per-request column is the completion-time list the cores poll;
+* bank / rank / channel timing state is held in flat lists, with the
+  timeline methods (``faw_constraint``, ``cas_constraint``,
+  ``reserve_bus``, ``occupy``) and the controller's mitigation-action and
+  periodic-refresh executors inlined over them in the scalar expression
+  order, then flushed back to the controller objects on exit.
+
+Same contract as the batched kernel: the same operations in the same
+order on the same plugin objects, so results — stats, energies, latency
+histogram, observer event streams — are bit-identical to the scalar
+oracle (the parity suites assert it).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right, insort_right
+from collections import deque
+from itertools import repeat
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.mitigations.base import (
+    MetadataAccess,
+    PreventiveRefresh,
+    RfmCommand,
+)
+from repro.sim.commands import (
+    ActCommand,
+    CasCommand,
+    MetadataCmd,
+    MitigationRequest,
+    PreCommand,
+    PreventiveRefreshCmd,
+    RefCommand,
+)
+from repro.sim.core import CoreModel
+from repro.sim.energy import (
+    E_ACT_BASE_NJ,
+    E_READ_NJ,
+    E_RESTORE_PER_NS,
+    E_WRITE_NJ,
+)
+from repro.sim.stats import CoreStats
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.system import MemorySystem, SimulationResult
+
+_INF = float("inf")
+
+
+class SharedQueues:
+    """The queues and per-request completion column shared by all cores."""
+
+    __slots__ = ("read_queue", "write_queue", "writes_by_addr", "completion")
+
+    def __init__(self) -> None:
+        #: Entries: (arrival, rid, flat, row, is_read, address, core,
+        #: rank, channel, group).  Rids are globally unique and increase
+        #: in enqueue order, so native tuple ordering is arrival-then-FCFS
+        #: — the scalar queue's tie-break — and the scheduling fields ride
+        #: along without a per-request record.
+        self.read_queue: list[tuple] = []
+        self.write_queue: list[tuple] = []
+        #: Pending queued writes per address as (arrival, rid) pairs, in
+        #: enqueue order, for read forwarding.
+        self.writes_by_addr: dict[int, list[tuple[float, int]]] = {}
+        #: Completion time per rid (−1.0 while in flight) — the one
+        #: per-request column, polled by the cores' window model.
+        self.completion: list[float] = []
+
+
+class ArrayCore:
+    """Columnar replica of :class:`repro.sim.core.CoreModel`.
+
+    Beyond :class:`repro.sim.kernels.BatchCore`'s vectorized decode, the
+    whole frontend timing chain is precomputed: ``fetch_done[i]`` depends
+    only on the bubble counts (the window stall pauses *emission*, never
+    the chain), so it is accumulated once — float-op order identical to
+    the per-pump accumulation — and :meth:`pump` just applies the issue
+    floor and insorts straight into the shared queues.
+    """
+
+    __slots__ = ("core_id", "_clock_ghz", "_window", "_n", "_tails",
+                 "_fetch_done", "_positions", "_final_frontend",
+                 "_index", "_issue_floor_ns", "_inflight",
+                 "_last_completion_ns", "_shared", "_stall_rid")
+
+    def __init__(self, core: CoreModel, shared: SharedQueues) -> None:
+        config = core.config
+        mapper = core.mapper
+        trace = core.trace
+        self.core_id = core.core_id
+        self._clock_ghz = config.core_clock_ghz
+        self._window = config.instruction_window
+        self._n = len(trace)
+        self._shared = shared
+        bubbles = trace.bubbles
+        addresses = (trace.addresses.astype(np.int64, copy=False)
+                     + core.address_offset)
+        # Same vectorized MOP decode as BatchCore (one pass per trace).
+        value = addresses % mapper.total_lines
+        value >>= mapper._col_low_bits
+        channel = value & (config.channels - 1)
+        value >>= mapper._channel_bits
+        bank = value & (config.banks_per_group - 1)
+        value >>= mapper._bank_bits
+        group = value & (config.bank_groups - 1)
+        value >>= mapper._group_bits
+        rank = value & (config.ranks - 1)
+        value >>= mapper._rank_bits
+        value >>= mapper._col_high_bits
+        rank_channel = rank + config.ranks * channel
+        flat = bank + config.banks_per_group * (
+            group + config.bank_groups * rank_channel)
+        # The static tail of each queue entry — (flat, row, is_read,
+        # address, core, rank, channel, group) — zipped once, so the pump
+        # builds an entry with a single concat instead of eight column
+        # reads.
+        self._tails = list(zip(
+            flat.tolist(), value.tolist(),
+            np.logical_not(trace.is_write).tolist(), addresses.tolist(),
+            repeat(self.core_id), rank_channel.tolist(), channel.tolist(),
+            group.tolist()))
+        # position_i = i + sum(bubbles[:i+1]) — integer arithmetic, exact.
+        self._positions = (np.cumsum(bubbles)
+                           + np.arange(self._n, dtype=np.int64)).tolist()
+        # The frontend chain alternates two additions per request —
+        # fetch_done = frontend + b*cycle/width; frontend = fetch_done +
+        # step — so the running value is the prefix sum of the interleaved
+        # term sequence [t_0, step, t_1, step, ...].  np.cumsum (ufunc
+        # accumulate) adds strictly left to right, which is exactly the
+        # scalar accumulation order, so the precomputed chain is
+        # bit-identical to the per-pump one.
+        cycle = config.core_cycle_ns
+        width = config.issue_width
+        step = cycle / width
+        terms = np.empty(2 * self._n, dtype=np.float64)
+        terms[0::2] = bubbles * cycle / width
+        terms[1::2] = step
+        chain = np.cumsum(terms)
+        self._fetch_done = chain[0::2].tolist()
+        self._final_frontend = float(chain[-1]) if self._n else 0.0
+        self._index = 0
+        self._issue_floor_ns = 0.0
+        #: (position, rid) of in-flight reads, oldest first.
+        self._inflight: deque[tuple[int, int]] = deque()
+        self._last_completion_ns = 0.0
+        #: Rid of the read this core is window-stalled on (-1 when the
+        #: trace is drained).  A completion of any other rid cannot
+        #: unblock emission, so the drain loop skips the pump call.
+        self._stall_rid = -1
+
+    def pump(self) -> int:
+        """Emit every request whose issue time is now determined.
+
+        Emitted requests go straight into the shared queues (the per-core
+        emission order is the enqueue order, exactly as when the scalar
+        core returns a batch that is enqueued in order).  Returns how many
+        requests were emitted.
+        """
+        i = self._index
+        n = self._n
+        if i >= n:
+            return 0
+        inflight = self._inflight
+        shared = self._shared
+        completion = shared.completion
+        positions = self._positions
+        if inflight:
+            # Cheap pre-check: after any pump, the core is either drained
+            # or window-stalled on its oldest read — so most pumps find
+            # that read still in flight and can skip the full prologue.
+            head_position, head_rid = inflight[0]
+            if (positions[i] - head_position >= self._window
+                    and completion[head_rid] < 0.0):
+                return 0
+        read_queue = shared.read_queue
+        write_queue = shared.write_queue
+        writes_by_addr = shared.writes_by_addr
+        fetch_done = self._fetch_done
+        window = self._window
+        floor = self._issue_floor_ns
+        last_completion = self._last_completion_ns
+        tails = self._tails
+        emitted = 0
+        stall = -1
+        while i < n:
+            position = positions[i]
+            if inflight:
+                head_position, head_rid = inflight[0]
+                if position - head_position >= window:
+                    done = completion[head_rid]
+                    if done < 0.0:
+                        stall = head_rid
+                        break  # stalled: resume after the head completes
+                    if done > floor:
+                        floor = done
+                    inflight.popleft()
+                    if done > last_completion:
+                        last_completion = done
+                    continue
+            done = fetch_done[i]
+            arrival = done if done > floor else floor
+            rid = len(completion)
+            completion.append(-1.0)
+            tail = tails[i]
+            entry = (arrival, rid) + tail
+            if tail[2]:  # is_read
+                inflight.append((position, rid))
+                insort_right(read_queue, entry)
+            else:
+                insort_right(write_queue, entry)
+                address = tail[3]
+                pending = writes_by_addr.get(address)
+                if pending is None:
+                    writes_by_addr[address] = [(arrival, rid)]
+                else:
+                    pending.append((arrival, rid))
+            emitted += 1
+            i += 1
+        self._index = i
+        self._issue_floor_ns = floor
+        self._last_completion_ns = last_completion
+        self._stall_rid = stall
+        return emitted
+
+    def note_completion(self, completion_ns: float) -> None:
+        if completion_ns > self._last_completion_ns:
+            self._last_completion_ns = completion_ns
+
+    def finished(self) -> bool:
+        if self._index < self._n:
+            return False
+        completion = self._shared.completion
+        for _, rid in self._inflight:
+            if completion[rid] < 0:
+                return False
+        return True
+
+    def stats(self) -> CoreStats:
+        if not self.finished():
+            raise SimulationError(f"core {self.core_id} has not finished")
+        elapsed = max(self._final_frontend, self._last_completion_ns)
+        instructions = self._positions[-1] + 1 if self._n else 0
+        return CoreStats(core=self.core_id,
+                         instructions=instructions,
+                         elapsed_ns=elapsed,
+                         core_clock_ghz=self._clock_ghz)
+
+
+def run_array(system: "MemorySystem") -> "SimulationResult":
+    """Run a :class:`MemorySystem` through the SoA drain loop."""
+    shared = SharedQueues()
+    cores = [ArrayCore(core, shared) for core in system.cores]
+    core_stats = service_array(system, cores, shared)
+    return system._collect(core_stats)
+
+
+def service_array(system: "MemorySystem", cores: list[ArrayCore],
+                  shared: SharedQueues) -> list[CoreStats]:
+    """Drain every core's trace through the SoA controller state.
+
+    Mirrors :func:`repro.sim.kernels.service_batch` — itself a mirror of
+    ``MemorySystem._run_scalar`` + ``MemoryController.service_one`` — with
+    the timeline objects' state unpacked into flat lists and every timing
+    method inlined in its exact expression order.  All state is flushed
+    back to the controller objects before returning.
+    """
+    ctrl = system.controller
+    config = system.config
+    timing = ctrl.timing
+    tRAS = timing.tRAS
+    tRP = timing.tRP
+    tRCD = timing.tRCD
+    tCL = timing.tCL
+    tBL = timing.tBL
+    tWR = timing.tWR
+    tFAW = timing.tFAW
+    tCCD = timing.tCCD
+    tCCD_L = timing.tCCD_L
+    tRFC = timing.tRFC
+    tREFI = timing.tREFI
+    tREFW = timing.tREFW
+    forward_latency = ctrl.FORWARD_LATENCY_NS
+    observer = ctrl.observer
+    mitigation = ctrl.mitigation
+    on_activation = mitigation.on_activation
+    act_penalty = mitigation.act_penalty_ns
+    policy = ctrl.policy
+    preventive_tras_ns = policy.preventive_tras_ns
+    rows_per_bank = config.rows_per_bank
+    rows_per_ref = ctrl._rows_per_periodic_refresh
+    banks_per_rank = config.banks_per_rank
+    metadata_per_access = tRP + tRCD + tCL + tBL
+    energy = ctrl.energy
+    act_e = energy.act_energy(tRAS)
+    stats = ctrl.stats
+    high_mark = config.write_queue_depth * config.write_high_watermark
+    low_mark = config.write_queue_depth * config.write_low_watermark
+
+    # --- columnar controller state (flushed back at the end) ----------
+    bank_open = [b.open_row for b in ctrl.banks]
+    bank_ready = [b.ready_ns for b in ctrl.banks]
+    bank_act = [b.act_ns for b in ctrl.banks]
+    bank_prev_busy = [b.preventive_busy_ns for b in ctrl.banks]
+    bank_refresh_busy = [b.refresh_busy_ns for b in ctrl.banks]
+    rank_next_ref = [r.next_refresh_ns for r in ctrl.ranks]
+    rank_acts = [r.recent_acts for r in ctrl.ranks]
+    chan_bus_free = [c.bus_free_ns for c in ctrl.channels]
+    chan_last_cas = [c.last_cas_ns for c in ctrl.channels]
+    chan_last_group = [c.last_cas_group for c in ctrl.channels]
+    now = ctrl.now_ns
+    next_window = ctrl._next_refresh_window_ns
+    draining = ctrl._draining_writes
+    next_refresh = min(rank_next_ref)
+
+    # Local accumulators seeded from (and flushed back to) the shared
+    # state: the addition sequence per counter matches the scalar path.
+    stat_reads = stats.reads
+    stat_writes = stats.writes
+    stat_forwarded = stats.forwarded_reads
+    stat_hits = stats.row_hits
+    stat_misses = stats.row_misses
+    stat_acts = stats.activations
+    stat_periodic = stats.periodic_refreshes
+    stat_prev_rows = stats.preventive_refresh_rows
+    stat_prev_full = stats.preventive_refresh_full
+    stat_prev_partial = stats.preventive_refresh_partial
+    stat_rfm = stats.rfm_commands
+    stat_backoff = stats.backoff_events
+    stat_meta_reads = stats.metadata_reads
+    stat_meta_writes = stats.metadata_writes
+    activation_nj = energy.activation_nj
+    read_nj = energy.read_nj
+    write_nj = energy.write_nj
+    periodic_nj = energy.periodic_refresh_nj
+    preventive_nj = energy.preventive_refresh_nj
+    metadata_nj = energy.metadata_nj
+    latency = system._latency
+    #: Raw read latencies, folded into the value histogram at flush time
+    #: (np.unique); the histogram content and count are exactly what
+    #: per-read ``LatencyAccumulator.add`` calls would produce, and
+    #: ``summary()`` sorts its items so insertion order is immaterial.
+    lat_values: list[float] = []
+
+    read_queue = shared.read_queue
+    write_queue = shared.write_queue
+    writes_by_addr = shared.writes_by_addr
+    completion_c = shared.completion
+
+    for core in cores:
+        core.pump()
+
+    stall_guard = 0
+    while True:
+        if now >= next_refresh:
+            # Inlined MemoryController._apply_periodic_refresh.
+            for ri in range(len(rank_next_ref)):
+                while rank_next_ref[ri] <= now:
+                    start = rank_next_ref[ri]
+                    scale = policy.periodic_refresh_scale()
+                    trfc = tRFC * scale
+                    if observer is not None:
+                        observer.on_command(RefCommand(ri, start, trfc))
+                    ref_tras = tRAS * scale
+                    if ref_tras <= 0:
+                        raise SimulationError(
+                            "non-positive tRAS in energy model")
+                    ref_e = rows_per_ref * (E_ACT_BASE_NJ
+                                            + E_RESTORE_PER_NS * ref_tras)
+                    lo = ri * banks_per_rank
+                    for fb in range(lo, lo + banks_per_rank):
+                        ready = bank_ready[fb]
+                        busy_from = ready if ready > start else start
+                        bank_ready[fb] = busy_from + trfc
+                        bank_refresh_busy[fb] += trfc
+                        bank_open[fb] = None
+                        periodic_nj += ref_e
+                    stat_periodic += 1
+                    rank_next_ref[ri] += tREFI
+            next_refresh = min(rank_next_ref)
+        # --- arrival gate ---------------------------------------------
+        # Nothing is serviceable before the earliest queued arrival, so
+        # jump straight there off the O(1) queue heads — the batched
+        # kernel's empty-bisect advance pass disappears.  Refresh is
+        # re-checked after the jump (the scalar loop applies refreshes
+        # due at the pre-advance time first; the duplicated check keeps
+        # that event order).
+        if read_queue:
+            next_arrival = read_queue[0][0]
+            if write_queue:
+                head = write_queue[0][0]
+                if head < next_arrival:
+                    next_arrival = head
+        elif write_queue:
+            next_arrival = write_queue[0][0]
+        else:
+            if all(core.finished() for core in cores):
+                break
+            produced = 0
+            for core in cores:
+                produced += core.pump()
+            stall_guard += 1
+            if produced == 0 and stall_guard > 2:
+                raise SimulationError(
+                    "deadlock: cores unfinished but no requests pending")
+            continue
+        if next_arrival > now:
+            now = next_arrival
+            if now >= next_refresh:
+                # Inlined MemoryController._apply_periodic_refresh (same
+                # block as the loop top, at the post-advance time).
+                for ri in range(len(rank_next_ref)):
+                    while rank_next_ref[ri] <= now:
+                        start = rank_next_ref[ri]
+                        scale = policy.periodic_refresh_scale()
+                        trfc = tRFC * scale
+                        if observer is not None:
+                            observer.on_command(RefCommand(ri, start, trfc))
+                        ref_tras = tRAS * scale
+                        if ref_tras <= 0:
+                            raise SimulationError(
+                                "non-positive tRAS in energy model")
+                        ref_e = rows_per_ref * (E_ACT_BASE_NJ
+                                                + E_RESTORE_PER_NS * ref_tras)
+                        lo = ri * banks_per_rank
+                        for fb in range(lo, lo + banks_per_rank):
+                            ready = bank_ready[fb]
+                            busy_from = ready if ready > start else start
+                            bank_ready[fb] = busy_from + trfc
+                            bank_refresh_busy[fb] += trfc
+                            bank_open[fb] = None
+                            periodic_nj += ref_e
+                        stat_periodic += 1
+                        rank_next_ref[ri] += tREFI
+                next_refresh = min(rank_next_ref)
+        wlen = len(write_queue)
+        if wlen >= high_mark:
+            draining = True
+        elif wlen <= low_mark:
+            draining = False
+        # --- pick (FR-FCFS over the arrived prefix) -------------------
+        # Probe after every entry with arrival <= now: rids are finite, so
+        # (now, inf) sorts after every (now, rid, ...) tuple.  At least
+        # one entry has arrived (the gate above), so exactly one bisect
+        # runs in the common case and the fallback never probes an
+        # un-arrived queue twice.
+        probe = (now, _INF)
+        if draining and wlen:
+            queue = write_queue
+            end = bisect_right(write_queue, probe)
+            if not end:
+                queue = read_queue
+                end = bisect_right(read_queue, probe)
+        else:
+            queue = read_queue
+            end = (bisect_right(read_queue, probe)
+                   if read_queue else 0)
+            if not end:
+                queue = write_queue
+                end = bisect_right(write_queue, probe)
+        if end > 1:
+            for pick in range(end):
+                entry = queue[pick]
+                if bank_open[entry[2]] == entry[3]:
+                    break
+            else:
+                pick = 0
+                entry = queue[0]
+            del queue[pick]
+        else:
+            entry = queue[0]
+            del queue[0]
+        (arrival, rid, flat, row, serviced_read, address,
+         core_i, ri, ci, group) = entry
+        if serviced_read:
+            # --- read forwarding out of the write queue ---------------
+            forwarded = False
+            if writes_by_addr:
+                pending = writes_by_addr.get(address)
+                if pending:
+                    for w in pending:
+                        if w[0] <= arrival:
+                            forwarded = True
+                            break
+            if forwarded:
+                completion = ((now if now > arrival else arrival)
+                              + forward_latency)
+                completion_c[rid] = completion
+                stat_reads += 1
+                stat_forwarded += 1
+        else:
+            writes_by_addr[address].remove((arrival, rid))
+            forwarded = False
+        if not forwarded:
+            # --- service (command timing) -----------------------------
+            earliest = now
+            if arrival > earliest:
+                earliest = arrival
+            ready = bank_ready[flat]
+            if ready > earliest:
+                earliest = ready
+            if bank_open[flat] == row:
+                stat_hits += 1
+                cas_start = earliest
+            else:
+                stat_misses += 1
+                act_start = earliest
+                closes_row = bank_open[flat] is not None
+                if closes_row:
+                    pre_start = bank_act[flat] + tRAS
+                    if earliest > pre_start:
+                        pre_start = earliest
+                    act_start = pre_start + tRP
+                # Inlined RankTimeline.faw_constraint + record_act.
+                acts = rank_acts[ri]
+                cutoff = act_start - tFAW
+                recent = [t for t in acts if t > cutoff]
+                rank_acts[ri] = acts = recent[-8:]
+                if len(recent) >= 4:
+                    faw = recent[-4] + tFAW
+                    if faw > act_start:
+                        act_start = faw
+                acts.append(act_start)
+                if len(acts) > 8:
+                    del acts[0]
+                if observer is not None:
+                    if closes_row:
+                        observer.on_command(PreCommand(flat, pre_start))
+                    observer.on_command(ActCommand(
+                        flat, ri, ci, group, row, act_start))
+                bank_open[flat] = row
+                bank_act[flat] = act_start
+                stat_acts += 1
+                activation_nj += act_e
+                cas_start = act_start + tRCD
+                # Inlined MemoryController._run_mitigation + action
+                # executors, over the columnar bank state.
+                if act_start >= next_window:
+                    mitigation.on_refresh_window(act_start)
+                    next_window += tREFW
+                actions = on_activation(flat, row, act_start)
+                if actions:
+                    for action in actions:
+                        if isinstance(action, PreventiveRefresh):
+                            fb = action.flat_bank
+                            aggressor = action.aggressor_row
+                            victims = [aggressor + d
+                                       for d in action.victim_offsets
+                                       if 0 <= aggressor + d < rows_per_bank]
+                            if observer is not None:
+                                observer.on_command(MitigationRequest(
+                                    fb, aggressor, "refresh", tuple(victims),
+                                    len(victims), act_start))
+                            ready = bank_ready[fb]
+                            start = ready if ready > now else now
+                            duration = 0.0
+                            for victim in victims:
+                                tras_ns, full = preventive_tras_ns(
+                                    fb, victim, start)
+                                if observer is not None:
+                                    observer.on_command(PreventiveRefreshCmd(
+                                        fb, victim, start + duration, tras_ns,
+                                        full))
+                                duration += tras_ns + tRP
+                                if tras_ns <= 0:
+                                    raise SimulationError(
+                                        "non-positive tRAS in energy model")
+                                preventive_nj += 1 * (
+                                    E_ACT_BASE_NJ
+                                    + E_RESTORE_PER_NS * tras_ns)
+                                stat_prev_rows += 1
+                                if full:
+                                    stat_prev_full += 1
+                                else:
+                                    stat_prev_partial += 1
+                            bank_ready[fb] = start + duration
+                            bank_prev_busy[fb] += duration
+                            bank_open[fb] = None
+                        elif isinstance(action, RfmCommand):
+                            fb = action.flat_bank
+                            if observer is not None:
+                                observer.on_command(MitigationRequest(
+                                    fb, -1, "rfm", (), action.victim_rows,
+                                    act_start))
+                            ready = bank_ready[fb]
+                            start = ready if ready > now else now
+                            duration = 0.0
+                            for _ in range(action.victim_rows):
+                                tras_ns, full = preventive_tras_ns(
+                                    fb, -1, start)
+                                if observer is not None:
+                                    observer.on_command(PreventiveRefreshCmd(
+                                        fb, -1, start + duration, tras_ns,
+                                        full))
+                                duration += tras_ns + tRP
+                                if tras_ns <= 0:
+                                    raise SimulationError(
+                                        "non-positive tRAS in energy model")
+                                preventive_nj += 1 * (
+                                    E_ACT_BASE_NJ
+                                    + E_RESTORE_PER_NS * tras_ns)
+                                stat_prev_rows += 1
+                                if full:
+                                    stat_prev_full += 1
+                                else:
+                                    stat_prev_partial += 1
+                            stat_rfm += 1
+                            if action.is_backoff:
+                                stat_backoff += 1
+                            bank_ready[fb] = start + duration
+                            bank_prev_busy[fb] += duration
+                            bank_open[fb] = None
+                        elif isinstance(action, MetadataAccess):
+                            fb = action.flat_bank
+                            ready = bank_ready[fb]
+                            start = ready if ready > now else now
+                            total = ((action.reads + action.writes)
+                                     * metadata_per_access)
+                            if observer is not None:
+                                observer.on_command(MetadataCmd(
+                                    fb, start, total, action.reads,
+                                    action.writes))
+                            bank_ready[fb] = start + total
+                            bank_open[fb] = None
+                            stat_meta_reads += action.reads
+                            stat_meta_writes += action.writes
+                            metadata_nj += (action.reads * E_READ_NJ
+                                            + action.writes * E_WRITE_NJ)
+                        else:  # pragma: no cover - exhaustive over Action
+                            raise SimulationError(
+                                f"unknown mitigation action {action!r}")
+                    # Mitigation actions may have pushed the bank's ready
+                    # time.
+                    ready = bank_ready[flat]
+                    if ready > cas_start:
+                        cas_start = ready
+            # Inlined ChannelTimeline.cas_constraint.
+            spacing = tCCD_L if group == chan_last_group[ci] else tCCD
+            constrained = chan_last_cas[ci] + spacing
+            if constrained > cas_start:
+                cas_start = constrained
+            chan_last_cas[ci] = cas_start
+            chan_last_group[ci] = group
+            if observer is not None:
+                observer.on_command(CasCommand(
+                    flat, ci, group, row, cas_start, not serviced_read))
+            # Inlined ChannelTimeline.reserve_bus.
+            burst_earliest = cas_start + tCL
+            bus_free = chan_bus_free[ci]
+            burst_start = (burst_earliest if burst_earliest > bus_free
+                           else bus_free)
+            data_done = burst_start + tBL
+            chan_bus_free[ci] = data_done
+            if serviced_read:
+                stat_reads += 1
+                read_nj += E_READ_NJ
+            else:
+                stat_writes += 1
+                write_nj += E_WRITE_NJ
+                data_done += tWR
+            completion_c[rid] = data_done
+            blocked = cas_start + tCCD + act_penalty
+            if blocked > bank_ready[flat]:
+                bank_ready[flat] = blocked
+            if cas_start > now:
+                now = cas_start
+        stall_guard = 0
+        if serviced_read:
+            done = completion_c[rid]
+            lat_values.append(done - arrival)
+            core = cores[core_i]
+            if done > core._last_completion_ns:
+                core._last_completion_ns = done
+            if rid == core._stall_rid:
+                core.pump()
+
+    # --- flush columnar state back to the shared objects --------------
+    for fb, bank in enumerate(ctrl.banks):
+        bank.open_row = bank_open[fb]
+        bank.ready_ns = bank_ready[fb]
+        bank.act_ns = bank_act[fb]
+        bank.preventive_busy_ns = bank_prev_busy[fb]
+        bank.refresh_busy_ns = bank_refresh_busy[fb]
+    for ri, rank in enumerate(ctrl.ranks):
+        rank.next_refresh_ns = rank_next_ref[ri]
+        rank.recent_acts = rank_acts[ri]
+    for ci, channel in enumerate(ctrl.channels):
+        channel.bus_free_ns = chan_bus_free[ci]
+        channel.last_cas_ns = chan_last_cas[ci]
+        channel.last_cas_group = chan_last_group[ci]
+    stats.reads = stat_reads
+    stats.writes = stat_writes
+    stats.forwarded_reads = stat_forwarded
+    stats.row_hits = stat_hits
+    stats.row_misses = stat_misses
+    stats.activations = stat_acts
+    stats.periodic_refreshes = stat_periodic
+    stats.preventive_refresh_rows = stat_prev_rows
+    stats.preventive_refresh_full = stat_prev_full
+    stats.preventive_refresh_partial = stat_prev_partial
+    stats.rfm_commands = stat_rfm
+    stats.backoff_events = stat_backoff
+    stats.metadata_reads = stat_meta_reads
+    stats.metadata_writes = stat_meta_writes
+    energy.activation_nj = activation_nj
+    energy.read_nj = read_nj
+    energy.write_nj = write_nj
+    energy.periodic_refresh_nj = periodic_nj
+    energy.preventive_refresh_nj = preventive_nj
+    energy.metadata_nj = metadata_nj
+    if lat_values:
+        lat_counts = latency._counts
+        lat_get = lat_counts.get
+        values, counts = np.unique(np.asarray(lat_values),
+                                   return_counts=True)
+        for value, occurrences in zip(values.tolist(), counts.tolist()):
+            lat_counts[value] = lat_get(value, 0) + occurrences
+        latency.count += len(lat_values)
+    ctrl.now_ns = now
+    ctrl._next_refresh_window_ns = next_window
+    ctrl._draining_writes = draining
+    return [core.stats() for core in cores]

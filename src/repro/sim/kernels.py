@@ -45,8 +45,9 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.sim.system import MemorySystem, SimulationResult
 
 #: The selectable system-simulation kernels (the ``sim`` stage of
-#: :data:`repro.exec.STAGE_KERNELS`).
-SIM_KERNELS = ("scalar", "batched")
+#: :data:`repro.exec.STAGE_KERNELS`).  ``array`` is the structure-of-arrays
+#: drain loop of :mod:`repro.sim.arraykernel`.
+SIM_KERNELS = ("scalar", "batched", "array")
 
 
 def set_default_sim_kernel(kernel: str) -> None:

@@ -81,15 +81,19 @@ class MemorySystem:
 
         ``kernel`` selects the drain-loop implementation: ``"scalar"`` is
         the per-request oracle below, ``"batched"`` the bit-exact fast path
-        in :mod:`repro.sim.kernels`.  ``None`` resolves through the default
-        :class:`repro.exec.ExecutionPolicy` — with an observer attached,
-        the oracle is the safe default and the fast path must be requested
-        explicitly.
+        in :mod:`repro.sim.kernels`, ``"array"`` the structure-of-arrays
+        drain loop in :mod:`repro.sim.arraykernel`.  ``None`` resolves
+        through the default :class:`repro.exec.ExecutionPolicy` — with an
+        observer attached, the oracle is the safe default and the fast
+        paths must be requested explicitly.
         """
         from repro.exec import resolve_kernel
 
         kernel = resolve_kernel(
             "sim", kernel, observer=self.controller.observer is not None)
+        if kernel == "array":
+            from repro.sim.arraykernel import run_array
+            return run_array(self)
         if kernel == "batched":
             from repro.sim.kernels import run_batched
             return run_batched(self)

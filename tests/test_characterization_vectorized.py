@@ -13,6 +13,7 @@ from repro.characterization.algorithm1 import (
     measure_row,
     perform_rh,
 )
+from repro.characterization.arraykernel import measure_rows_array
 from repro.characterization.probecache import ProbeCache
 from repro.characterization.sweeps import characterize_module
 from repro.characterization.vectorized import measure_rows
@@ -39,11 +40,15 @@ def _testable_rows(host: DRAMBenderHost, count: int = 8) -> tuple[int, ...]:
 
 
 class TestScalarParity:
+    @pytest.mark.parametrize("batch_measure", (measure_rows,
+                                               measure_rows_array),
+                             ids=("vectorized", "array"))
     @pytest.mark.parametrize("module_id", PARITY_MODULES)
     @pytest.mark.parametrize("temperature", (80.0, 50.0))
-    def test_bit_exact_measurements(self, module_id, temperature):
+    def test_bit_exact_measurements(self, module_id, temperature,
+                                    batch_measure):
         scalar_host = DRAMBenderHost(module_id, temperature_c=temperature)
-        vector_host = DRAMBenderHost(module_id, temperature_c=temperature)
+        batch_host = DRAMBenderHost(module_id, temperature_c=temperature)
         rows = _testable_rows(scalar_host)
         nominal = scalar_host.module.timing.tRAS
         for factor, n_pr in PARITY_POINTS:
@@ -52,9 +57,9 @@ class TestScalarParity:
             assert_all_parity(
                 [measure_row(scalar_host, 1, row, tras_red_ns=tras,
                              n_pr=n_pr, config=FAST) for row in rows],
-                measure_rows(vector_host, 1, rows, tras_red_ns=tras,
-                             n_pr=n_pr, config=FAST),
-                label="vectorized kernel")
+                batch_measure(batch_host, 1, rows, tras_red_ns=tras,
+                              n_pr=n_pr, config=FAST),
+                label=batch_measure.__name__)
 
     def test_batch_traits_match_per_row_traits(self, host_h5):
         fresh = DRAMBenderHost("H5")
@@ -66,13 +71,14 @@ class TestScalarParity:
         for i, row in enumerate(rows):
             assert fresh.module.row_population(1, row).traits is batch.traits[i]
 
-    def test_characterize_module_kernels_identical(self):
+    @pytest.mark.parametrize("fast_kernel", ("vectorized", "array"))
+    def test_characterize_module_kernels_identical(self, fast_kernel):
         kw = dict(tras_factors=(0.45,), n_prs=(1, 4), per_region=4, seed=11)
         assert_parity(
             lambda: characterize_module("S6", kernel="scalar", **kw).to_json(),
-            lambda: characterize_module("S6", kernel="vectorized",
+            lambda: characterize_module("S6", kernel=fast_kernel,
                                         **kw).to_json(),
-            label="vectorized kernel")
+            label=f"{fast_kernel} kernel")
 
     def test_same_validation_errors(self):
         host = DRAMBenderHost("H5")

@@ -39,13 +39,20 @@ class TestResolutionMatrix:
 
     def test_scalar_policy_runs_every_oracle(self):
         policy = ExecutionPolicy(kernel_policy="scalar")
-        for stage, (scalar, _) in STAGE_KERNELS.items():
-            assert policy.kernel_for(stage) == scalar
+        for stage, names in STAGE_KERNELS.items():
+            assert policy.kernel_for(stage) == names[0]
 
     def test_fast_policy_runs_every_fast_path(self):
         policy = ExecutionPolicy(kernel_policy="fast")
-        for stage, (_, fast) in STAGE_KERNELS.items():
-            assert policy.kernel_for(stage) == fast
+        for stage, names in STAGE_KERNELS.items():
+            assert policy.kernel_for(stage) == names[1]
+
+    def test_array_policy_picks_array_tier_or_fastest(self):
+        policy = ExecutionPolicy(kernel_policy="array")
+        assert policy.kernel_for("device") == "array"
+        assert policy.kernel_for("sim") == "array"
+        # The host stage has no array tier; the fastest kernel stands in.
+        assert policy.kernel_for("host") == "compiled"
 
     def test_stage_override_beats_policy(self):
         policy = ExecutionPolicy(kernel_policy="fast", sim_kernel="scalar")
@@ -74,9 +81,9 @@ class TestResolutionMatrix:
             validate_stage_kernel("gpu", "scalar")
 
     def test_policies_cover_stage_kernels(self):
-        assert KERNEL_POLICIES == ("scalar", "fast", "auto")
+        assert KERNEL_POLICIES == ("scalar", "fast", "array", "auto")
         for stage, names in STAGE_KERNELS.items():
-            assert len(names) == 2
+            assert len(names) in (2, 3)
             assert AUTO_KERNELS[stage] in names
 
 
@@ -84,10 +91,11 @@ class TestCheckedResolution:
     @pytest.mark.parametrize("mode", ("tolerant", "strict"))
     def test_checking_forces_every_oracle(self, mode):
         policy = ExecutionPolicy(kernel_policy="fast", check_protocol=mode)
-        for stage, (scalar, fast) in STAGE_KERNELS.items():
-            assert policy.checked_kernel_for(stage) == scalar
-            # Even an explicit fast-path request is overridden.
-            assert policy.checked_kernel_for(stage, fast) == scalar
+        for stage, names in STAGE_KERNELS.items():
+            assert policy.checked_kernel_for(stage) == names[0]
+            # Even an explicit fast-tier request is overridden.
+            for fast in names[1:]:
+                assert policy.checked_kernel_for(stage, fast) == names[0]
 
     def test_off_leaves_resolution_alone(self):
         policy = ExecutionPolicy(kernel_policy="fast")

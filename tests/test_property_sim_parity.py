@@ -1,14 +1,16 @@
-"""Property-based parity: the batched kernel is bit-exact with the oracle.
+"""Property-based parity: the fast kernels are bit-exact with the oracle.
 
 Hypothesis draws random trace shapes, core counts, mitigations (scalar and
-batched variants), and N_RH values; for every draw the scalar and batched
-kernels must produce the *identical* :class:`SimulationResult` — same IPC,
-energy, latency summary, and every controller counter — identical
-mitigation counters, and (separately) identical observer event streams.
+batched variants), and N_RH values; for every draw the batched and array
+kernels must produce the *identical* :class:`SimulationResult` as the
+scalar oracle — same IPC, energy, latency summary, and every controller
+counter — identical mitigation counters, and (separately) identical
+observer event streams.
 """
 
 from dataclasses import asdict
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -49,22 +51,23 @@ def _build(setup, kernel):
               for spec, requests, seed in trace_specs]
     mechanism = make_mitigation(
         mitigation, nrh,
-        batched=(batched_mitigation and kernel == "batched"),
+        batched=(batched_mitigation and kernel in ("batched", "array")),
         config=config)
     return config, traces, mechanism
 
 
+@pytest.mark.parametrize("fast_kernel", ("batched", "array"))
 @given(sim_setups())
 @settings(max_examples=25, deadline=None)
-def test_batched_kernel_matches_scalar_oracle(setup):
+def test_fast_kernel_matches_scalar_oracle(fast_kernel, setup):
     config, traces, mechanism_s = _build(setup, "scalar")
     scalar = MemorySystem(config, traces,
                           mitigation=mechanism_s).run("scalar")
-    config, traces, mechanism_b = _build(setup, "batched")
-    batched = MemorySystem(config, traces,
-                           mitigation=mechanism_b).run("batched")
-    assert asdict(scalar) == asdict(batched)
-    assert asdict(mechanism_s.counters) == asdict(mechanism_b.counters)
+    config, traces, mechanism_f = _build(setup, fast_kernel)
+    fast = MemorySystem(config, traces,
+                        mitigation=mechanism_f).run(fast_kernel)
+    assert asdict(scalar) == asdict(fast)
+    assert asdict(mechanism_s.counters) == asdict(mechanism_f.counters)
 
 
 class _RecordingObserver:
@@ -83,11 +86,12 @@ class _RecordingObserver:
 @settings(max_examples=10, deadline=None)
 def test_observer_event_streams_match(setup):
     streams = []
-    for kernel in ("scalar", "batched"):
+    for kernel in ("scalar", "batched", "array"):
         config, traces, mechanism = _build(setup, kernel)
         observer = _RecordingObserver()
         MemorySystem(config, traces, mitigation=mechanism,
                      observer=observer).run(kernel)
         streams.append(observer)
-    assert streams[0].events == streams[1].events
-    assert streams[0].finalized == streams[1].finalized
+    for other in streams[1:]:
+        assert streams[0].events == other.events
+        assert streams[0].finalized == other.finalized

@@ -33,6 +33,19 @@ class _PlainCache(DigestCache):
     tier_subdir = None
 
 
+class _DiskCache(DigestCache):
+    """Disk-backed instantiation using the base codec.
+
+    ``tier_subdir`` stays ``None`` so this test-only cache never joins the
+    ``--force`` registry (which other tests assert the exact contents of);
+    the disk tier itself only needs ``disk_dir``.
+    """
+
+    name = "test-disk"
+    tier_subdir = None
+    file_prefix = "entry"
+
+
 class TestDigestCacheCore:
     def test_basic_memoization(self):
         cache = _PlainCache(maxsize=8)
@@ -210,6 +223,148 @@ class TestDriftParityProperty:
                 changes += 1
             previous = digest
         assert cache.invalidations == changes
+
+
+class TestKeyCanonicalization:
+    """Regression: ``key_text`` must canonicalize (sorted keys, stable
+    separators) so logically equal keys share one entry and one disk file;
+    entries persisted under the old serialization must migrate."""
+
+    def test_dict_key_order_is_identity(self):
+        cache = _PlainCache(maxsize=4)
+        cache.ensure("d")
+        cache.put({"b": 2, "a": 1}, "value")
+        assert cache.get({"a": 1, "b": 2}) == "value"
+        assert len(cache) == 1
+        assert cache.hits == 1 and cache.misses == 0
+
+    def test_reordered_keys_share_one_disk_file(self, tmp_path):
+        cache = _DiskCache(maxsize=4, disk_dir=tmp_path)
+        cache.ensure("d")
+        cache.put({"b": 2, "a": 1}, 7)
+        cache.put({"a": 1, "b": 2}, 7)
+        assert len(list(tmp_path.glob("entry_*.json"))) == 1
+        fresh = _DiskCache(maxsize=4, disk_dir=tmp_path)
+        fresh.ensure("d")
+        assert fresh.get({"a": 1, "b": 2}) == 7
+
+    def test_key_text_is_canonical_json(self):
+        cache = _DiskCache(maxsize=4)
+        assert cache.key_text({"b": 2, "a": 1}) \
+            == cache.key_text({"a": 1, "b": 2}) == '{"a":1,"b":2}'
+        assert cache.key_text("already-a-string") == "already-a-string"
+
+    def test_legacy_disk_entries_migrate(self, tmp_path):
+        import hashlib
+
+        cache = _DiskCache(maxsize=4, disk_dir=tmp_path)
+        cache.ensure("d")
+        key = {"b": 2, "a": 1}
+        legacy_text = json.dumps(key, default=str)  # pre-fix serialization
+        suffix = hashlib.sha256(legacy_text.encode()).hexdigest()[:24]
+        legacy_path = tmp_path / f"entry_{suffix}.json"
+        legacy_path.write_text(json.dumps(
+            {"digest": "d", "key": legacy_text, "result": 7}, sort_keys=True))
+        assert cache.get(key) == 7
+        assert not legacy_path.exists()  # rewritten at the canonical path
+        fresh = _DiskCache(maxsize=4, disk_dir=tmp_path)
+        fresh.ensure("d")
+        assert fresh.get({"a": 1, "b": 2}) == 7
+
+    def test_legacy_entry_with_stale_digest_is_ignored(self, tmp_path):
+        import hashlib
+
+        cache = _DiskCache(maxsize=4, disk_dir=tmp_path)
+        cache.ensure("new-model")
+        key = {"b": 2, "a": 1}
+        legacy_text = json.dumps(key, default=str)
+        suffix = hashlib.sha256(legacy_text.encode()).hexdigest()[:24]
+        (tmp_path / f"entry_{suffix}.json").write_text(json.dumps(
+            {"digest": "old-model", "key": legacy_text, "result": 7}))
+        assert cache.get(key) is None
+
+
+class TestForceClearsMemoryTier:
+    """Regression: ``clear_disk()``/``clear_disk_tiers()`` must also drop
+    the in-memory tier and unbind the digest, or a live instance keeps
+    serving stale payloads after ``--force``."""
+
+    def test_clear_disk_resets_memory_and_digest(self, tmp_path):
+        cache = _DiskCache(maxsize=4, disk_dir=tmp_path)
+        cache.ensure("d")
+        cache.put({"k": 1}, "stale")
+        assert cache.clear_disk() == 1
+        assert len(cache) == 0 and cache.digest is None
+        cache.ensure("d")
+        assert cache.get({"k": 1}) is None
+
+    def test_memory_only_clear_disk_still_drops_entries(self):
+        cache = _PlainCache(maxsize=4)
+        cache.ensure("d")
+        cache.put({"k": 1}, "stale")
+        assert cache.clear_disk() == 0
+        cache.ensure("d")
+        assert cache.get({"k": 1}) is None
+
+    def test_clear_disk_tiers_clears_live_instances(self, tmp_path):
+        live = ProbeCache(disk_dir=tmp_path / "probe_cache")
+        live.ensure("model")
+        live.put((1, 2), 42)
+        clear_disk_tiers(tmp_path)
+        assert len(live) == 0 and live.digest is None
+        live.ensure("model")
+        assert live.get((1, 2)) is None  # recomputes, not stale memory
+
+    def test_clear_disk_tiers_scopes_to_root(self, tmp_path):
+        other = ProbeCache(disk_dir=tmp_path / "elsewhere" / "probe_cache")
+        other.ensure("model")
+        other.put((1,), 9)
+        clear_disk_tiers(tmp_path / "results")
+        assert other.get((1,)) == 9  # different root: untouched
+
+    def test_rebind_after_force_is_not_an_invalidation(self, tmp_path):
+        cache = _DiskCache(maxsize=4, disk_dir=tmp_path)
+        cache.ensure("d")
+        cache.clear_disk()
+        cache.ensure("d")
+        assert cache.invalidations == 0
+
+
+class TestDiskHitCounter:
+    """Regression: disk-tier promotions must be distinguishable from warm
+    memory hits (``disk_hits``), without changing the ``hits`` total."""
+
+    def test_promotion_counts_once_in_each(self, tmp_path):
+        cache = _DiskCache(maxsize=4, disk_dir=tmp_path)
+        cache.ensure("d")
+        cache.put({"k": 1}, 7)
+        fresh = _DiskCache(maxsize=4, disk_dir=tmp_path)
+        fresh.ensure("d")
+        assert fresh.get({"k": 1}) == 7  # disk promotion
+        assert fresh.get({"k": 1}) == 7  # now warm in memory
+        assert fresh.hits == 2 and fresh.disk_hits == 1
+        assert fresh.misses == 0
+
+    def test_memory_hits_leave_disk_hits_zero(self):
+        cache = _PlainCache(maxsize=4)
+        cache.ensure("d")
+        cache.put("k", 1)
+        cache.get("k")
+        assert cache.hits == 1 and cache.disk_hits == 0
+        assert cache.stats()["disk_hits"] == 0
+
+    def test_unified_counters_and_summary_surface_disk_hits(self, tmp_path):
+        reset_cache_counters()
+        cache = ProbeCache(disk_dir=tmp_path / "probe_cache")
+        cache.ensure("d")
+        cache.put((1,), 2)
+        fresh = ProbeCache(disk_dir=tmp_path / "probe_cache")
+        fresh.ensure("d")
+        fresh.get((1,))
+        counts = cache_counters()["probe"]
+        assert counts["hits"] == 1 and counts["disk_hits"] == 1
+        text = summarize_caches(tmp_path)
+        assert "disk_hits=1" in text
 
 
 class TestForceClearsProbeTier:

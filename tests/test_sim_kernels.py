@@ -57,7 +57,7 @@ def _run_pair(config, trace_seeds, *, mitigation=None, nrh=256,
 
 class TestKernelKnob:
     def test_known_kernels(self):
-        assert SIM_KERNELS == ("scalar", "batched")
+        assert SIM_KERNELS == ("scalar", "batched", "array")
         for kernel in SIM_KERNELS:
             assert resolve_sim_kernel(kernel) == kernel
 
