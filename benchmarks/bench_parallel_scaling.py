@@ -15,6 +15,7 @@ from tempfile import TemporaryDirectory
 from bench_util import run_once, save_result
 
 from repro.analysis.sweeprunner import SweepGrid, SweepRunner
+from repro.runtime import REPORT_NAME
 
 _JOBS = (1, 2, 4)
 
@@ -36,7 +37,8 @@ def _run_all_job_counts() -> dict[int, tuple[float, dict[str, bytes]]]:
             runner.run(jobs=jobs)
             elapsed = time.perf_counter() - started
             rows = {p.name: p.read_bytes()
-                    for p in sorted(results_dir.glob("*.json"))}
+                    for p in sorted(results_dir.glob("*.json"))
+                    if p.name != REPORT_NAME}  # run metadata, not a row
             timings[jobs] = (elapsed, rows)
     return timings
 

@@ -28,8 +28,14 @@ from pathlib import Path
 
 from repro.analysis.runner import pacram_reference_config, run_simulation
 from repro.errors import ConfigError, SimulationError
-from repro.exec import checked_kernel, default_policy
-from repro.runtime import LEDGER_NAME, ProgressReporter, Task, TaskPool
+from repro.exec import checked_kernel, default_policy, fallback_kernel
+from repro.runtime import (
+    LEDGER_NAME,
+    REPORT_NAME,
+    ProgressReporter,
+    Task,
+    TaskPool,
+)
 from repro.runtime.cache import clear_disk_tiers
 from repro.runtime.persist import write_atomic
 from repro.sim.config import SystemConfig
@@ -204,7 +210,7 @@ def _simulate_to(point: SweepPoint, requests: int, path: str,
         ledger.unlink(missing_ok=True)  # drop a stale ledger on re-run
     payload = asdict(row)
     payload["digest"] = row_digest(payload)
-    write_atomic(path, json.dumps(payload, indent=1))
+    write_atomic(path, json.dumps(payload, indent=1), durable=True)
 
 
 class SweepRunner:
@@ -226,16 +232,21 @@ class SweepRunner:
         """Where the engine records failed attempts for this sweep."""
         return self.results_dir / LEDGER_NAME
 
+    def report_path(self) -> Path:
+        """Where the engine persists its end-of-run ``run_report.json``."""
+        return self.results_dir / REPORT_NAME
+
     def status(self) -> tuple[int, int]:
         """(completed, total) — the check_run_status.py analogue."""
         points = self.grid.points()
         done = sum(1 for p in points if self.row_path(p).exists())
         return done, len(points)
 
-    def _pool(self, jobs: int | None,
-              progress: ProgressReporter | None) -> TaskPool:
+    def _pool(self, jobs: int | None, progress: ProgressReporter | None,
+              timeout_s: float | None = None) -> TaskPool:
         return TaskPool(jobs=jobs, ledger_path=self.ledger_path(),
-                        progress=progress)
+                        report_path=self.report_path(),
+                        timeout_s=timeout_s, progress=progress)
 
     def _task(self, point: SweepPoint) -> Task:
         path = self.row_path(point)
@@ -246,9 +257,18 @@ class SweepRunner:
                                 check_protocol=self.grid.check_protocol)
         cache_dir = (str(self.cache_dir())
                      if default_policy().persistent_caches() else None)
+        # Graceful degradation: a fast kernel that raises in a worker gets
+        # one re-run on the scalar oracle (same cache — baseline rows are
+        # kernel-independent) before retry accounting resumes.
+        oracle = fallback_kernel("sim", kernel)
+        fallback_args = None
+        if oracle is not None:
+            fallback_args = (point, self.grid.requests, str(path),
+                             self.grid.check_protocol, oracle, cache_dir)
         return Task(key=point.key, path=path, fn=_simulate_to,
                     args=(point, self.grid.requests, str(path),
-                          self.grid.check_protocol, kernel, cache_dir))
+                          self.grid.check_protocol, kernel, cache_dir),
+                    fallback_args=fallback_args)
 
     def _clear_cache(self) -> None:
         """Drop every persisted cache tier under the results directory
@@ -265,17 +285,22 @@ class SweepRunner:
         return results[point.key]
 
     def run(self, *, force: bool = False, jobs: int | None = 1,
-            progress: ProgressReporter | None = None) -> list[SweepRow]:
+            progress: ProgressReporter | None = None,
+            task_timeout_s: float | None = None) -> list[SweepRow]:
         """Run (or resume) the whole grid; returns rows in grid order.
 
         ``jobs`` controls the worker-process count (``None`` = all cores);
         valid on-disk rows are reused, corrupt ones quarantined and re-run.
         Row contents are identical for any ``jobs`` and either kernel.
+        ``task_timeout_s`` arms the engine's watchdog: a point whose worker
+        produces no row within the deadline is killed and retried
+        (deadlines require worker processes, i.e. ``jobs > 1``).
         """
         if force:
             self._clear_cache()
         points = self.grid.points()
-        pool = self._pool(jobs=jobs, progress=progress)
+        pool = self._pool(jobs=jobs, progress=progress,
+                          timeout_s=task_timeout_s)
         results = pool.run([self._task(p) for p in points],
                            loader=load_row, force=force)
         return [results[p.key] for p in points]

@@ -17,6 +17,7 @@ are bit-identical to serial ones.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -25,8 +26,20 @@ from repro.characterization.sweeps import characterize_module
 from repro.dram.catalog import all_module_ids
 from repro.dram.timing import TESTED_TRAS_FACTORS
 from repro.errors import CharacterizationError
-from repro.exec import checked_kernel, default_policy, validate_stage_kernel
-from repro.runtime import LEDGER_NAME, ProgressReporter, Task, TaskPool
+from repro.exec import (
+    checked_kernel,
+    default_policy,
+    fallback_kernel,
+    validate_stage_kernel,
+)
+from repro.runtime import (
+    LEDGER_NAME,
+    REPORT_NAME,
+    ProgressReporter,
+    Task,
+    TaskPool,
+    describe_run_report,
+)
 from repro.runtime.cache import clear_disk_tiers, summarize_caches
 from repro.validation.physics import model_digest
 
@@ -69,7 +82,7 @@ def _characterize_to(module_id: str, config: CampaignConfig, path: str,
         n_prs=config.n_prs, temperatures_c=config.temperatures_c,
         per_region=config.per_region, seed=config.seed,
         kernel=kernel, cache_dir=cache_dir)
-    result.save(path)
+    result.save(path, durable=True)
 
 
 def _load_checked(path: str | Path) -> ModuleCharacterization:
@@ -114,9 +127,15 @@ class CharacterizationCampaign:
         """Where the engine records failed attempts for this campaign."""
         return self.results_dir / LEDGER_NAME
 
-    def _pool(self, jobs: int | None,
-              progress: ProgressReporter | None) -> TaskPool:
+    def report_path(self) -> Path:
+        """Where the engine persists its end-of-run ``run_report.json``."""
+        return self.results_dir / REPORT_NAME
+
+    def _pool(self, jobs: int | None, progress: ProgressReporter | None,
+              timeout_s: float | None = None) -> TaskPool:
         return TaskPool(jobs=jobs, ledger_path=self.ledger_path(),
+                        report_path=self.report_path(),
+                        timeout_s=timeout_s, seed=self.config.seed,
                         progress=progress)
 
     def cache_dir(self) -> Path:
@@ -131,9 +150,18 @@ class CharacterizationCampaign:
         kernel = checked_kernel("device", self.config.kernel)
         persist = kernel == "scalar" and default_policy().persistent_caches()
         cache_dir = str(self.cache_dir()) if persist else None
+        # Graceful degradation: a fast kernel that raises in a worker gets
+        # one re-run on the stage's scalar oracle before retry accounting
+        # resumes (no fallback when the oracle is already selected).
+        fallback = fallback_kernel("device", kernel)
+        fallback_args = None
+        if fallback is not None:
+            fallback_args = (module_id, self.config, str(path), fallback,
+                             None)
         return Task(key=module_id, path=path, fn=_characterize_to,
                     args=(module_id, self.config, str(path), kernel,
-                          cache_dir))
+                          cache_dir),
+                    fallback_args=fallback_args)
 
     # ------------------------------------------------------------------
     def run_module(self, module_id: str, *,
@@ -151,6 +179,7 @@ class CharacterizationCampaign:
 
     def run(self, *, force: bool = False, jobs: int | None = 1,
             progress: ProgressReporter | None = None,
+            task_timeout_s: float | None = None,
             ) -> dict[str, ModuleCharacterization]:
         """Run (or resume) the whole campaign; returns all results.
 
@@ -159,10 +188,14 @@ class CharacterizationCampaign:
         re-run.  The returned measurements are identical for any ``jobs``.
         ``force`` discards persisted results *and* every registered cache
         tier under the results directory before re-running.
+        ``task_timeout_s`` arms the engine's watchdog: a module whose
+        worker produces no result within the deadline is killed and
+        retried (deadlines require worker processes, i.e. ``jobs > 1``).
         """
         if force:
             clear_disk_tiers(self.results_dir)
-        pool = self._pool(jobs=jobs, progress=progress)
+        pool = self._pool(jobs=jobs, progress=progress,
+                          timeout_s=task_timeout_s)
         tasks = [self._task(module_id)
                  for module_id in self.config.module_ids]
         return pool.run(tasks, loader=_load_checked, force=force)
@@ -185,5 +218,12 @@ class CharacterizationCampaign:
         pending = self.pending_modules()
         if pending:
             lines.append("pending: " + ", ".join(pending))
+        report = self.report_path()
+        if report.exists():
+            try:
+                lines.append(describe_run_report(
+                    json.loads(report.read_text())))
+            except (OSError, ValueError):
+                pass  # a torn report must not break the status command
         lines.append(summarize_caches(self.results_dir))
         return "\n".join(lines)

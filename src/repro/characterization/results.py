@@ -158,8 +158,14 @@ class ModuleCharacterization:
                 f"invalid module_id: {result.module_id!r}")
         return result
 
-    def save(self, path: str | Path) -> None:
-        write_atomic(path, self.to_json())
+    def save(self, path: str | Path, *, durable: bool = False) -> None:
+        """Persist atomically; ``durable`` fsyncs through to stable storage.
+
+        Campaign workers save durably — a module characterization is the
+        most expensive artifact in the repo, and a power loss must not
+        resurface an empty file that existence-based resume then trusts.
+        """
+        write_atomic(path, self.to_json(), durable=durable)
 
     @classmethod
     def load(cls, path: str | Path) -> "ModuleCharacterization":

@@ -19,6 +19,7 @@ fails if any fault class goes undetected.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import tempfile
 from pathlib import Path
@@ -39,7 +40,7 @@ from repro.exec import (
     set_default_policy,
     warn_deprecated_flag,
 )
-from repro.runtime import PrintProgress
+from repro.runtime import PrintProgress, describe_run_report
 from repro.runtime.cache import summarize_caches
 from repro.sim.configloader import EvaluationConfig
 from repro.validation import check_physics
@@ -141,7 +142,8 @@ def cmd_campaign(args: argparse.Namespace) -> int:
             for problem in check_physics(module_id,
                                          mode=args.check_protocol):
                 print(f"physics: {problem}", file=sys.stderr)
-    campaign.run(jobs=args.jobs, progress=PrintProgress(), force=args.force)
+    campaign.run(jobs=args.jobs, progress=PrintProgress(), force=args.force,
+                 task_timeout_s=args.task_timeout)
     print(campaign.summary())
     return 0
 
@@ -166,7 +168,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         print(f"{done}/{total} runs done")
         return 0
     rows = runner.run(jobs=args.jobs, progress=PrintProgress(),
-                      force=args.force)
+                      force=args.force, task_timeout_s=args.task_timeout)
     violations = sum(row.violations for row in rows)
     if grid.check_protocol != "off":
         print(f"protocol check ({grid.check_protocol}): "
@@ -174,6 +176,12 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     for (mitigation, label), series in runner.aggregate(rows).items():
         values = " ".join(f"nrh={n}:{v:.4f}" for n, v in sorted(series.items()))
         print(f"{mitigation:<9} {label:<9} {values}")
+    report = runner.report_path()
+    if report.exists():
+        try:
+            print(describe_run_report(json.loads(report.read_text())))
+        except (OSError, ValueError):
+            pass  # a torn report must not break the sweep summary
     print(summarize_caches(args.dir))
     return 0
 
@@ -202,6 +210,20 @@ def cmd_validate(args: argparse.Namespace) -> int:
         report.save(args.out)
         print(f"wrote {args.out}")
     return 0 if report.all_covered and not failures else 1
+
+
+def cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.validation.chaos import run_chaos_matrix
+    if args.dir:
+        report = run_chaos_matrix(args.dir, seed=args.seed)
+    else:
+        with tempfile.TemporaryDirectory(prefix="repro-chaos-") as workdir:
+            report = run_chaos_matrix(workdir, seed=args.seed)
+    print(report.summary())
+    if args.out:
+        report.save(args.out)
+        print(f"wrote {args.out}")
+    return 0 if report.all_covered else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -255,6 +277,12 @@ def build_parser() -> argparse.ArgumentParser:
     campaign_parser.add_argument("--jobs", type=int, default=None,
                                  help="parallel worker processes "
                                       "(default: all cores)")
+    campaign_parser.add_argument("--task-timeout", type=float, default=None,
+                                 metavar="SECONDS",
+                                 help="per-module deadline: a worker that "
+                                      "produces no result in time is "
+                                      "killed and the module retried "
+                                      "(needs --jobs > 1)")
     campaign_parser.add_argument("--status", action="store_true",
                                  help="only report progress")
     campaign_parser.add_argument("--check-protocol", default="off",
@@ -300,6 +328,11 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_parser.add_argument("--jobs", type=int, default=None,
                               help="parallel worker processes "
                                    "(default: all cores)")
+    sweep_parser.add_argument("--task-timeout", type=float, default=None,
+                              metavar="SECONDS",
+                              help="per-point deadline: a worker that "
+                                   "produces no row in time is killed and "
+                                   "the point retried (needs --jobs > 1)")
     sweep_parser.add_argument("--status", action="store_true",
                               help="only report progress")
     sweep_parser.add_argument("--check-protocol", default=None,
@@ -341,6 +374,17 @@ def build_parser() -> argparse.ArgumentParser:
     validate_parser.add_argument("--skip-faults", action="store_true",
                                  help="physics guards only")
     validate_parser.set_defaults(func=cmd_validate)
+
+    chaos_parser = subparsers.add_parser(
+        "chaos", help="run the deterministic runtime chaos matrix")
+    chaos_parser.add_argument("--seed", type=int, default=2025,
+                              help="chaos-scenario seed")
+    chaos_parser.add_argument("--dir",
+                              help="keep chaos-scenario artifacts here "
+                                   "(default: a temporary directory)")
+    chaos_parser.add_argument("--out",
+                              help="write the chaos report JSON here")
+    chaos_parser.set_defaults(func=cmd_chaos)
     return parser
 
 

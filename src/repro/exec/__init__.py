@@ -23,6 +23,7 @@ from repro.exec.policy import (
     ExecutionPolicy,
     checked_kernel,
     default_policy,
+    fallback_kernel,
     reset_default_policy,
     resolve_kernel,
     set_default_policy,
@@ -39,6 +40,7 @@ __all__ = [
     "assert_parity",
     "checked_kernel",
     "default_policy",
+    "fallback_kernel",
     "parity_diff",
     "reset_default_policy",
     "resolve_kernel",

@@ -77,6 +77,20 @@ def _requires_oracle(mode: str) -> bool:
     return requires_scalar_oracle(mode)
 
 
+def fallback_kernel(stage: str, kernel: str) -> str | None:
+    """The degradation target if ``kernel`` fails at runtime, or ``None``.
+
+    Graceful degradation always lands on the stage's scalar oracle — the
+    reference implementation every fast path is parity-tested against —
+    so a numpy edge case in a fast kernel costs one point's speed, never
+    its correctness.  Returns ``None`` when ``kernel`` already *is* the
+    oracle (there is nothing safer to fall back to).
+    """
+    validate_stage_kernel(stage, kernel)
+    oracle = STAGE_KERNELS[stage][0]
+    return None if kernel == oracle else oracle
+
+
 def validate_stage_kernel(stage: str, kernel: str) -> str:
     """Validate a concrete kernel name for ``stage``."""
     try:

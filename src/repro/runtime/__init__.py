@@ -20,9 +20,22 @@ from repro.runtime.cache import (
 from repro.runtime.engine import (
     LEDGER_MAX_BYTES,
     LEDGER_NAME,
+    REPORT_NAME,
     PoolReport,
     Task,
     TaskPool,
+    describe_run_report,
+)
+from repro.runtime.failures import (
+    FAILURE_CLASSES,
+    INFRASTRUCTURE,
+    PERMANENT,
+    TIMEOUT,
+    TRANSIENT,
+    TaskTimeout,
+    classify_failure,
+    register_failure,
+    reset_failure_rules,
 )
 from repro.runtime.persist import (
     CORRUPT_SUFFIX,
@@ -35,20 +48,31 @@ from repro.runtime.progress import PrintProgress, ProgressReporter
 __all__ = [
     "CORRUPT_SUFFIX",
     "DigestCache",
+    "FAILURE_CLASSES",
+    "INFRASTRUCTURE",
     "LEDGER_MAX_BYTES",
     "LEDGER_NAME",
+    "PERMANENT",
     "PoolReport",
     "PrintProgress",
     "ProgressReporter",
+    "REPORT_NAME",
+    "TIMEOUT",
+    "TRANSIENT",
     "Task",
     "TaskPool",
+    "TaskTimeout",
     "cache_counters",
+    "classify_failure",
     "clear_disk_tiers",
+    "describe_run_report",
     "discard_stale_tmp",
     "disk_tier_entries",
     "quarantine",
+    "register_failure",
     "registered_tiers",
     "reset_cache_counters",
+    "reset_failure_rules",
     "summarize_caches",
     "write_atomic",
 ]

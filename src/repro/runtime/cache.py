@@ -130,7 +130,7 @@ def summarize_caches(root: str | Path | None = None) -> str:
 def _count(name: str, counter: str, amount: int = 1) -> None:
     totals = _COUNTERS.setdefault(
         name, {"hits": 0, "disk_hits": 0, "misses": 0, "invalidations": 0})
-    totals[counter] += amount
+    totals[counter] = totals.get(counter, 0) + amount
 
 
 class DigestCache:
@@ -169,6 +169,7 @@ class DigestCache:
         self.disk_hits = 0
         self.misses = 0
         self.invalidations = 0
+        self.corrupt_entries = 0
         _INSTANCES.add(self)
 
     def __len__(self) -> int:
@@ -280,10 +281,19 @@ class DigestCache:
         digest = hashlib.sha256(text.encode()).hexdigest()[:24]
         return self.disk_dir / f"{self.file_prefix}_{digest}.json"
 
+    def _checksum(self, digest: str | None, text: str, payload: Any) -> str:
+        """Integrity checksum over a disk entry's semantic content."""
+        body = json.dumps({"digest": digest, "key": text, "result": payload},
+                          sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(body.encode()).hexdigest()
+
     def _disk_put(self, text: str, payload: Any) -> None:
         self.disk_dir.mkdir(parents=True, exist_ok=True)
         blob = json.dumps({"digest": self.digest, "key": text,
-                           "result": payload}, sort_keys=True)
+                           "result": payload,
+                           "checksum": self._checksum(self.digest, text,
+                                                      payload)},
+                          sort_keys=True)
         write_atomic(self._path_for(text), blob)
 
     def _read_disk(self, path: Path, text: str) -> Any | None:
@@ -295,6 +305,17 @@ class DigestCache:
                 or raw.get("key") != text
                 or not self.valid_payload(raw.get("result"))):
             return None  # stale digest or hash collision: recompute
+        # Torn writes are already impossible (write_atomic), but storage
+        # bit-rot is not: a checksum mismatch means the payload silently
+        # changed since it was written — serve a miss and recompute rather
+        # than poison downstream results.  Entries persisted before the
+        # checksum existed carry none and stay acceptable.
+        checksum = raw.get("checksum")
+        if checksum is not None and checksum != self._checksum(
+                self.digest, text, raw["result"]):
+            self.corrupt_entries += 1
+            _count(self.name, "corrupt")
+            return None
         return raw["result"]
 
     def _disk_get(self, key: Any, text: str | None = None) -> Any | None:
@@ -351,5 +372,6 @@ class DigestCache:
             "disk_hits": self.disk_hits,
             "misses": self.misses,
             "invalidations": self.invalidations,
+            "corrupt_entries": self.corrupt_entries,
             "hit_rate": self.hit_rate(),
         }

@@ -10,11 +10,38 @@ that engine for the in-process reproduction:
 * on resume, existing result files are validated by the caller's loader —
   unparseable or schema-invalid files are quarantined (``*.corrupt``) and
   re-run instead of crashing the campaign;
-* transient worker failures are retried with exponential backoff, and every
-  failed attempt is appended to a per-run error ledger (``errors.jsonl``)
-  so one bad point cannot kill a 600-point sweep;
+* failures are *classified* (:mod:`repro.runtime.failures`): transient
+  errors retry with bounded, seed-jittered exponential backoff; permanent
+  (``ConfigError``-shaped) errors fail immediately with no retries;
+  infrastructure errors (broken pool, ``ENOSPC``) pause, probe the result
+  directory, and retry without charging the point an attempt; and every
+  event lands in a per-run error ledger (``errors.jsonl``);
+* retries are *scheduled*, not slept through: the drain loop keeps
+  collecting finished futures while a retrying point waits out its
+  backoff, so one flaky point never stalls the rest of the grid;
+* a per-task **deadline** (``timeout_s``) arms a watchdog: the drain loop
+  waits with a bounded timeout, and a worker that overruns is killed
+  (the whole pool is torn down and rebuilt — a hung process cannot be
+  cancelled politely), the in-flight survivors are re-enqueued without
+  charge, and the timed-out point retries or fails as ``timeout``;
+* a **broken pool** (a worker SIGKILLed by the OOM killer takes the whole
+  ``ProcessPoolExecutor`` down) is rebuilt up to ``max_pool_rebuilds``
+  times, re-enqueueing every in-flight point without charging attempts;
+  if pools keep dying the engine degrades to *isolated* mode — one fresh
+  single-worker pool per point, so a poison task breaks only itself and
+  is finally identifiable — and to inline in-process execution if worker
+  processes cannot be spawned at all;
+* a task may carry ``fallback_args`` (the scalar-oracle kernel): if its
+  primary args raise inside a worker, it is re-run once on the fallback
+  — recorded as ``degraded`` — before normal retry logic applies, so a
+  numpy edge case costs one point's speed, not the campaign;
 * ``jobs=1`` runs the very same submission/retry/load code path inline
-  (no subprocesses), so serial and parallel runs are the same engine.
+  (no subprocesses), so serial and parallel runs are the same engine —
+  deadlines are only enforceable when workers are separate processes;
+* every run ends by writing ``run_report.json`` next to the ledger: task
+  counts, the failure-class breakdown, degradations, timeouts, and pool
+  rebuilds, machine-readable for dashboards and asserted consistent with
+  the ledger by a property test.
 
 Workers must be module-level callables with picklable arguments (they cross
 a ``ProcessPoolExecutor`` boundary when ``jobs > 1``), and results flow back
@@ -25,23 +52,36 @@ run would reload.
 
 from __future__ import annotations
 
+import heapq
 import json
 import time
+from collections import deque
 from concurrent.futures import (
     FIRST_COMPLETED,
+    BrokenExecutor,
     Future,
     ProcessPoolExecutor,
     wait,
 )
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Any, Callable
 
 from repro.errors import ConfigError, ExecutionError
+from repro.rng import derive_seed
+from repro.runtime.failures import (
+    INFRASTRUCTURE,
+    PERMANENT,
+    TIMEOUT,
+    TRANSIENT,
+    TaskTimeout,
+    classify_failure,
+)
 from repro.runtime.persist import discard_stale_tmp, quarantine, write_atomic
 from repro.runtime.progress import ProgressReporter
 
-__all__ = ["Task", "TaskPool", "LEDGER_NAME", "LEDGER_MAX_BYTES"]
+__all__ = ["Task", "TaskPool", "PoolReport", "LEDGER_NAME",
+           "LEDGER_MAX_BYTES", "REPORT_NAME", "describe_run_report"]
 
 #: File name of the per-run error ledger, kept next to the results.
 LEDGER_NAME = "errors.jsonl"
@@ -51,6 +91,12 @@ LEDGER_NAME = "errors.jsonl"
 #: records are dropped (the newest ones explain the current failures).
 LEDGER_MAX_BYTES = 512 * 1024
 
+#: File name of the end-of-run machine-readable report.
+REPORT_NAME = "run_report.json"
+
+#: ``run_report.json`` schema version (bump on breaking shape changes).
+REPORT_SCHEMA_VERSION = 1
+
 
 @dataclass(frozen=True)
 class Task:
@@ -59,12 +105,20 @@ class Task:
     ``fn(*args)`` must compute the point and persist it atomically to
     ``path`` (see :func:`repro.runtime.persist.write_atomic`); its return
     value is ignored — the pool re-loads ``path`` instead.
+
+    ``timeout_s`` overrides the pool-wide deadline for this task;
+    ``fallback_args`` are the graceful-degradation arguments (typically
+    the same args with the scalar-oracle kernel substituted): if the
+    primary args raise inside a worker, the task re-runs once on the
+    fallback before normal retry accounting resumes.
     """
 
     key: str
     path: Path
     fn: Callable[..., Any]
     args: tuple = ()
+    timeout_s: float | None = None
+    fallback_args: tuple | None = None
 
 
 class _InlineExecutor:
@@ -83,6 +137,10 @@ class _InlineExecutor:
             future.set_exception(error)
         return future
 
+    def shutdown(self, wait: bool = True,
+                 cancel_futures: bool = False) -> None:
+        return None
+
     def __enter__(self) -> "_InlineExecutor":
         return self
 
@@ -99,17 +157,65 @@ class PoolReport:
     quarantined: list[str] = field(default_factory=list)
     retried: list[str] = field(default_factory=list)
     failed: dict[str, str] = field(default_factory=dict)
+    #: Failure-taxonomy class of each permanently failed key.
+    failure_classes: dict[str, str] = field(default_factory=dict)
+    #: Keys whose worker overran its deadline (one entry per event).
+    timeouts: list[str] = field(default_factory=list)
+    #: Keys re-run on their fallback (scalar-oracle) args.
+    degraded: list[str] = field(default_factory=list)
+    #: Pause-and-probe cycles taken for infrastructure failures.
+    infra_pauses: int = 0
+    #: Times a broken worker pool was replaced.
+    pool_rebuilds: int = 0
+    #: Times the watchdog tore a pool down for a deadline overrun.
+    watchdog_kills: int = 0
+    #: Execution mode the run ended in: ``pool``, ``isolated``, ``inline``.
+    final_mode: str = "inline"
+
+
+def describe_run_report(payload: dict) -> str:
+    """One human line summarizing a persisted ``run_report.json``."""
+    counts = payload.get("counts", {})
+    pool = payload.get("pool", {})
+    parts = [f"computed {counts.get('computed', 0)}",
+             f"reused {counts.get('reused', 0)}",
+             f"failed {counts.get('failed', 0)}"]
+    for quiet in ("quarantined", "retries", "timeouts", "degraded",
+                  "infra_pauses"):
+        if counts.get(quiet):
+            parts.append(f"{quiet} {counts[quiet]}")
+    if pool.get("rebuilds"):
+        parts.append(f"pool rebuilds {pool['rebuilds']}")
+    if pool.get("watchdog_kills"):
+        parts.append(f"watchdog kills {pool['watchdog_kills']}")
+    classes = {name: count
+               for name, count in payload.get("failure_classes", {}).items()
+               if count}
+    line = "last run: " + ", ".join(parts)
+    if classes:
+        breakdown = ", ".join(f"{name}={count}"
+                              for name, count in sorted(classes.items()))
+        line += f" [{breakdown}]"
+    return line
 
 
 class TaskPool:
     """Resumable, retrying executor for a list of independent tasks."""
 
     def __init__(self, *, jobs: int | None = None, max_attempts: int = 3,
-                 backoff_s: float = 0.1,
+                 backoff_s: float = 0.1, backoff_max_s: float = 30.0,
+                 backoff_jitter: float = 0.25,
+                 timeout_s: float | None = None,
+                 max_pool_rebuilds: int = 3,
+                 max_infra_retries: int = 5,
+                 infra_pause_s: float = 1.0,
+                 seed: int = 0,
                  ledger_path: str | Path | None = None,
                  ledger_max_bytes: int = LEDGER_MAX_BYTES,
+                 report_path: str | Path | None = None,
                  progress: ProgressReporter | None = None,
-                 sleep: Callable[[float], None] = time.sleep) -> None:
+                 sleep: Callable[[float], None] = time.sleep,
+                 clock: Callable[[], float] = time.monotonic) -> None:
         import os
         if jobs is None:
             jobs = os.cpu_count() or 1
@@ -120,15 +226,47 @@ class TaskPool:
         if ledger_max_bytes < 1:
             raise ConfigError(
                 f"ledger_max_bytes must be >= 1, got {ledger_max_bytes}")
+        if timeout_s is not None and timeout_s <= 0:
+            raise ConfigError(f"timeout_s must be positive, got {timeout_s}")
+        if backoff_max_s < 0 or backoff_jitter < 0:
+            raise ConfigError("backoff_max_s and backoff_jitter must be >= 0")
+        if max_pool_rebuilds < 0 or max_infra_retries < 0:
+            raise ConfigError(
+                "max_pool_rebuilds and max_infra_retries must be >= 0")
         self.jobs = jobs
         self.max_attempts = max_attempts
         self.backoff_s = backoff_s
+        self.backoff_max_s = backoff_max_s
+        self.backoff_jitter = backoff_jitter
+        self.timeout_s = timeout_s
+        self.max_pool_rebuilds = max_pool_rebuilds
+        self.max_infra_retries = max_infra_retries
+        self.infra_pause_s = infra_pause_s
+        self.seed = seed
         self.ledger_path = Path(ledger_path) if ledger_path else None
         self.ledger_max_bytes = ledger_max_bytes
+        self.report_path = Path(report_path) if report_path else None
         self.progress = progress or ProgressReporter()
         self.sleep = sleep
+        self.clock = clock
         self.last_report: PoolReport | None = None
         self._run_started_monotonic = time.monotonic()
+
+    # ------------------------------------------------------------------
+    def backoff_for(self, key: str, attempt: int) -> float:
+        """Retry delay after failed ``attempt`` of ``key``.
+
+        Exponential in the attempt number but bounded by
+        ``backoff_max_s``, plus deterministic seed-derived jitter (a
+        fraction of the base in ``[0, backoff_jitter)``) so a grid of
+        points that failed together — one NFS hiccup hits every worker
+        at once — does not resubmit in lockstep and recreate the spike.
+        """
+        base = min(self.backoff_s * (2 ** (attempt - 1)), self.backoff_max_s)
+        if base <= 0 or self.backoff_jitter <= 0:
+            return max(base, 0.0)
+        unit = derive_seed(self.seed, "backoff", key, attempt) / 2.0 ** 64
+        return base * (1.0 + self.backoff_jitter * unit)
 
     # ------------------------------------------------------------------
     def run(self, tasks: list[Task], loader: Callable[[Path], Any], *,
@@ -166,67 +304,62 @@ class TaskPool:
         if pending:
             for directory in {task.path.parent for task in pending}:
                 discard_stale_tmp(directory)
-            self._execute(pending, loader, results, report)
+            _Drain(self, pending, loader, results, report).execute()
         self.progress.finish()
+        self._write_report(len(tasks), report)
         if report.failed:
             ledger = f" (ledger: {self.ledger_path})" if self.ledger_path else ""
+            named = ", ".join(
+                f"{key} [{report.failure_classes.get(key, TRANSIENT)}]"
+                for key in sorted(report.failed))
             raise ExecutionError(
                 f"{len(report.failed)}/{len(tasks)} points failed permanently "
-                f"after {self.max_attempts} attempts: "
-                f"{', '.join(sorted(report.failed))}{ledger}")
+                f"after {self.max_attempts} attempts: {named}{ledger}")
         return {key: results[key] for key in keys}
 
     # ------------------------------------------------------------------
-    def _execute(self, pending: list[Task], loader: Callable[[Path], Any],
-                 results: dict[str, Any], report: PoolReport) -> None:
-        workers = min(self.jobs, len(pending))
-        executor = (ProcessPoolExecutor(max_workers=workers)
-                    if workers > 1 else _InlineExecutor())
-        attempts = {task.key: 0 for task in pending}
-        with executor as pool:
-            futures: dict[Future, Task] = {}
-            for task in pending:
-                attempts[task.key] += 1
-                futures[pool.submit(task.fn, *task.args)] = task
-            while futures:
-                done, _ = wait(futures, return_when=FIRST_COMPLETED)
-                for future in done:
-                    task = futures.pop(future)
-                    error = future.exception()
-                    if error is None:
-                        try:
-                            loaded = loader(task.path)
-                        except Exception as load_error:
-                            if task.path.exists():
-                                quarantine(task.path)
-                            error = load_error
-                        else:
-                            results[task.key] = loaded
-                            report.computed.append(task.key)
-                            self.progress.task_done(task.key)
-                            continue
-                    attempt = attempts[task.key]
-                    self._record(task.key, attempt, f"{error}",
-                                 action="attempt")
-                    if attempt < self.max_attempts:
-                        report.retried.append(task.key)
-                        self.progress.task_retry(task.key, attempt, f"{error}")
-                        self.sleep(self.backoff_s * (2 ** (attempt - 1)))
-                        attempts[task.key] += 1
-                        try:
-                            futures[pool.submit(task.fn, *task.args)] = task
-                        except RuntimeError as submit_error:
-                            # Executor broken (e.g. a worker was SIGKILLed
-                            # taking the pool down); give up on this task
-                            # but keep draining the rest.
-                            self._fail(task, f"{submit_error}", report)
-                    else:
-                        self._fail(task, f"{error}", report)
-
-    def _fail(self, task: Task, error: str, report: PoolReport) -> None:
-        report.failed[task.key] = error
-        self._record(task.key, self.max_attempts, error, action="abandoned")
-        self.progress.task_failed(task.key, error)
+    def _write_report(self, total: int, report: PoolReport) -> None:
+        """Persist ``run_report.json`` next to the results/ledger."""
+        path = self.report_path
+        if path is None and self.ledger_path is not None:
+            path = self.ledger_path.parent / REPORT_NAME
+        if path is None:
+            return
+        class_counts: dict[str, int] = {}
+        for classification in report.failure_classes.values():
+            class_counts[classification] = \
+                class_counts.get(classification, 0) + 1
+        payload = {
+            "schema_version": REPORT_SCHEMA_VERSION,
+            "jobs": self.jobs,
+            "tasks": total,
+            "elapsed_s": round(
+                time.monotonic() - self._run_started_monotonic, 6),
+            "counts": {
+                "reused": len(report.reused),
+                "computed": len(report.computed),
+                "quarantined": len(report.quarantined),
+                "retries": len(report.retried),
+                "timeouts": len(report.timeouts),
+                "degraded": len(report.degraded),
+                "infra_pauses": report.infra_pauses,
+                "failed": len(report.failed),
+            },
+            "pool": {
+                "rebuilds": report.pool_rebuilds,
+                "watchdog_kills": report.watchdog_kills,
+                "final_mode": report.final_mode,
+            },
+            "failure_classes": class_counts,
+            "failed": {
+                key: {"error": message,
+                      "class": report.failure_classes.get(key, TRANSIENT)}
+                for key, message in sorted(report.failed.items())
+            },
+            "degraded_keys": sorted(set(report.degraded)),
+            "timeout_keys": sorted(set(report.timeouts)),
+        }
+        write_atomic(path, json.dumps(payload, indent=1, sort_keys=True) + "\n")
 
     # ------------------------------------------------------------------
     def _record(self, key: str, attempt: int, error: str, *,
@@ -263,3 +396,393 @@ class TaskPool:
         while len(lines) > 1 and size > self.ledger_max_bytes:
             size -= len(lines.pop(0).encode("utf-8"))
         write_atomic(self.ledger_path, "".join(lines))
+
+
+class _Drain:
+    """One run's drain loop: submissions, deadlines, retries, pools.
+
+    Execution modes, in degradation order:
+
+    * ``pool`` — one ``ProcessPoolExecutor`` with up to ``jobs`` workers;
+    * ``isolated`` — after ``max_pool_rebuilds`` broken pools, one fresh
+      single-worker pool per outstanding point, so a poison task breaks
+      only its own pool and is identifiable (and chargeable);
+    * ``inline`` — ``jobs=1``, or worker processes cannot be spawned at
+      all; tasks run in the parent, where deadlines are unenforceable.
+    """
+
+    def __init__(self, pool: TaskPool, pending: list[Task],
+                 loader: Callable[[Path], Any], results: dict[str, Any],
+                 report: PoolReport) -> None:
+        self.p = pool
+        self.loader = loader
+        self.results = results
+        self.report = report
+        self.pending = pending
+        self.workers = min(pool.jobs, len(pending))
+        self.mode = "pool" if self.workers > 1 else "inline"
+        self.executor: Any = None
+        self.generation = 0
+        self.futures: dict[Future, Task] = {}
+        self.future_gen: dict[Future, int] = {}
+        self.deadlines: dict[Future, float] = {}
+        #: (ready_at, seq, task, charge_attempt, probe_infrastructure)
+        self.retries: list[tuple[float, int, Task, bool, bool]] = []
+        self.queue: deque[tuple[Task, bool]] = deque()
+        self.attempts = {task.key: 0 for task in pending}
+        self.degraded_keys: set[str] = set()
+        self.infra_strikes: dict[str, int] = {}
+        self._seq = 0
+
+    # ------------------------------------------------------------------
+    def execute(self) -> None:
+        self._new_executor()
+        for task in self.pending:
+            self.queue.append((task, True))
+        try:
+            while self.queue or self.retries or self.futures:
+                self._submit_ready()
+                if not self.futures:
+                    if self.queue:
+                        continue  # isolated-mode gate re-opens next pass
+                    if self.retries:
+                        self._wait_for_retry()
+                    continue
+                done, _ = wait(self.futures, timeout=self._tick(),
+                               return_when=FIRST_COMPLETED)
+                for future in done:
+                    self._on_complete(future)
+                self._enforce_deadlines()
+        finally:
+            self._shutdown(kill=False)
+        self.report.final_mode = self.mode
+
+    # ------------------------------------------------------------------
+    # executor lifecycle
+    # ------------------------------------------------------------------
+    def _new_executor(self) -> None:
+        self.generation += 1
+        if self.mode == "inline":
+            self.executor = _InlineExecutor()
+            return
+        workers = 1 if self.mode == "isolated" else self.workers
+        try:
+            self.executor = ProcessPoolExecutor(max_workers=workers)
+        except OSError:
+            # Cannot spawn workers at all: last rung of the ladder.
+            self.mode = "inline"
+            self.executor = _InlineExecutor()
+
+    def _shutdown(self, kill: bool) -> None:
+        executor = self.executor
+        self.executor = None
+        if executor is None:
+            return
+        if kill:
+            # A hung worker cannot be cancelled through the Executor API;
+            # SIGKILL the worker processes before discarding the pool.
+            for process in list(getattr(executor, "_processes", {}).values()):
+                try:
+                    process.kill()
+                except OSError:  # already reaped
+                    pass
+        try:
+            executor.shutdown(wait=not kill, cancel_futures=True)
+        except Exception:  # noqa: BLE001 — a dying pool must not kill the run
+            pass
+
+    def _rebuild(self, reason: str) -> None:
+        """Replace a broken pool, degrading to isolated mode past the cap."""
+        self.report.pool_rebuilds += 1
+        if self.mode == "pool" \
+                and self.report.pool_rebuilds > self.p.max_pool_rebuilds:
+            self.mode = "isolated"
+        self._requeue_in_flight()
+        self._shutdown(kill=True)
+        self._new_executor()
+        self.p.progress.pool_rebuilt(self.report.pool_rebuilds, self.mode,
+                                     reason)
+
+    def _requeue_in_flight(self) -> None:
+        """Re-enqueue every in-flight task without charging an attempt.
+
+        Their results died with the pool through no fault of their own;
+        stale completions of the popped futures are ignored later.
+        """
+        for future, task in list(self.futures.items()):
+            self.queue.append((task, False))
+        self.futures.clear()
+        self.future_gen.clear()
+        self.deadlines.clear()
+
+    # ------------------------------------------------------------------
+    # submission
+    # ------------------------------------------------------------------
+    def _submit_ready(self) -> None:
+        now = self.p.clock()
+        while self.retries and self.retries[0][0] <= now:
+            _, _, task, charge, probe = heapq.heappop(self.retries)
+            self._enqueue_or_probe(task, charge, probe)
+        while self.queue:
+            if self.mode == "isolated" and self.futures:
+                return  # one outstanding point at a time when isolating
+            task, charge = self.queue.popleft()
+            self._submit(task, charge)
+
+    def _submit(self, task: Task, charge: bool) -> None:
+        if charge:
+            self.attempts[task.key] += 1
+        while True:
+            try:
+                future = self.executor.submit(task.fn, *task.args)
+            except (BrokenExecutor, RuntimeError) as error:
+                # The pool died between completions (or was shut down
+                # under us); replace it and try this submission again.
+                self._record_infra(task, error, action="pool-broken")
+                self._rebuild(f"submit failed: {error}")
+                continue
+            break
+        self.futures[future] = task
+        self.future_gen[future] = self.generation
+        timeout = task.timeout_s if task.timeout_s is not None \
+            else self.p.timeout_s
+        if timeout is not None and self.mode != "inline":
+            self.deadlines[future] = self.p.clock() + timeout
+
+    def _push_retry(self, task: Task, ready_at: float, *, charge: bool,
+                    probe: bool) -> None:
+        self._seq += 1
+        heapq.heappush(self.retries, (ready_at, self._seq, task, charge, probe))
+
+    def _enqueue_or_probe(self, task: Task, charge: bool, probe: bool) -> None:
+        if probe and not self._probe_ok(task):
+            strikes = self.infra_strikes.get(task.key, 0) + 1
+            self.infra_strikes[task.key] = strikes
+            self.report.infra_pauses += 1
+            self.p._record(task.key, strikes,
+                           "result directory not writable (probe failed)",
+                           action="infra-pause",
+                           **{"class": INFRASTRUCTURE})
+            if strikes > self.p.max_infra_retries:
+                self._fail(task, "infrastructure failure outlasted "
+                                 f"{self.p.max_infra_retries} probes",
+                           INFRASTRUCTURE)
+            else:
+                self._push_retry(task,
+                                 self.p.clock() + self.p.infra_pause_s,
+                                 charge=charge, probe=True)
+            return
+        self.queue.append((task, charge))
+
+    def _probe_ok(self, task: Task) -> bool:
+        """Whether the task's result directory accepts writes again."""
+        import os
+        probe = task.path.parent / f".probe.{os.getpid()}{'.tmp'}"
+        try:
+            task.path.parent.mkdir(parents=True, exist_ok=True)
+            probe.write_text("probe")
+            probe.unlink()
+            return True
+        except OSError:
+            try:
+                probe.unlink(missing_ok=True)
+            except OSError:
+                pass
+            return False
+
+    # ------------------------------------------------------------------
+    # waiting
+    # ------------------------------------------------------------------
+    def _tick(self) -> float | None:
+        """Bounded ``wait()`` timeout: the next deadline or retry, if any."""
+        next_event: float | None = None
+        if self.deadlines:
+            next_event = min(self.deadlines.values())
+        if self.retries:
+            ready_at = self.retries[0][0]
+            next_event = ready_at if next_event is None \
+                else min(next_event, ready_at)
+        if next_event is None:
+            return None
+        return max(0.0, next_event - self.p.clock())
+
+    def _wait_for_retry(self) -> None:
+        """Nothing in flight: advance to the earliest scheduled retry.
+
+        After sleeping the full remaining delay the retry is treated as
+        due unconditionally — injected test clocks may not advance, and
+        trusting the sleep keeps the schedule deterministic for them.
+        """
+        ready_at, _, task, charge, probe = heapq.heappop(self.retries)
+        delay = ready_at - self.p.clock()
+        if delay > 0:
+            self.p.sleep(delay)
+        self._enqueue_or_probe(task, charge, probe)
+
+    # ------------------------------------------------------------------
+    # completion
+    # ------------------------------------------------------------------
+    def _on_complete(self, future: Future) -> None:
+        task = self.futures.pop(future, None)
+        if task is None:
+            return  # stale completion from a torn-down pool
+        generation = self.future_gen.pop(future, self.generation)
+        self.deadlines.pop(future, None)
+        error = future.exception()
+        if error is None:
+            try:
+                loaded = self.loader(task.path)
+            except Exception as load_error:
+                if task.path.exists():
+                    quarantine(task.path)
+                # A corrupt result is recomputable by construction:
+                # always a (transient) retry, never a permanent verdict.
+                self._failed_attempt(task, load_error, TRANSIENT)
+            else:
+                self.results[task.key] = loaded
+                self.report.computed.append(task.key)
+                self.progress_done(task)
+            return
+        if isinstance(error, BrokenExecutor):
+            self._on_broken_pool(task, error, generation)
+            return
+        classification = classify_failure(error)
+        if classification == INFRASTRUCTURE:
+            self._infra_failure(task, error)
+            return
+        self._failed_attempt(task, error, classification)
+
+    def progress_done(self, task: Task) -> None:
+        self.p.progress.task_done(task.key)
+
+    def _on_broken_pool(self, task: Task, error: BaseException,
+                        generation: int) -> None:
+        if self.mode == "isolated" and generation == self.generation:
+            # Single-task pool: the culprit is known.  Replace the pool
+            # and charge the point like any other failed attempt.
+            self._record_infra(task, error, action="pool-broken")
+            self.report.pool_rebuilds += 1
+            self._shutdown(kill=True)
+            self._new_executor()
+            self._failed_attempt(task, error, INFRASTRUCTURE,
+                                 recorded=True)
+            return
+        self._record_infra(task, error, action="pool-broken")
+        if generation == self.generation:
+            self._rebuild(f"{error}")
+        # The result was lost with the pool; re-run without charge.
+        self.queue.append((task, False))
+
+    def _record_infra(self, task: Task, error: BaseException, *,
+                      action: str) -> None:
+        self.p._record(task.key, self.attempts[task.key], f"{error}",
+                       action=action, **{"class": INFRASTRUCTURE})
+
+    def _infra_failure(self, task: Task, error: BaseException) -> None:
+        """Worker hit an environment fault (e.g. ENOSPC): pause and probe.
+
+        The attempt charged at submission is refunded — the environment
+        failed, not the point — and the retry is bounded separately by
+        ``max_infra_retries`` so a dead disk cannot loop forever.
+        """
+        self.attempts[task.key] -= 1
+        strikes = self.infra_strikes.get(task.key, 0) + 1
+        self.infra_strikes[task.key] = strikes
+        self.report.infra_pauses += 1
+        self.p._record(task.key, strikes, f"{error}", action="infra-pause",
+                       **{"class": INFRASTRUCTURE})
+        if strikes > self.p.max_infra_retries:
+            self._fail(task, f"{error}", INFRASTRUCTURE)
+            return
+        self.p.progress.task_retry(task.key, strikes, f"{error}",
+                                   classification=INFRASTRUCTURE)
+        self._push_retry(task, self.p.clock() + self.p.infra_pause_s,
+                         charge=True, probe=True)
+
+    def _failed_attempt(self, task: Task, error: BaseException,
+                        classification: str, *,
+                        recorded: bool = False) -> None:
+        attempt = self.attempts[task.key]
+        if not recorded:
+            self.p._record(task.key, attempt, f"{error}", action="attempt",
+                           **{"class": classification})
+        if (task.fallback_args is not None
+                and task.key not in self.degraded_keys
+                and classification != TIMEOUT):
+            # Kernel graceful degradation: one free re-run on the
+            # fallback (scalar-oracle) args before retry accounting
+            # resumes — a numpy edge case costs one point's speed, not
+            # the campaign.
+            self.degraded_keys.add(task.key)
+            self.report.degraded.append(task.key)
+            self.p._record(task.key, attempt, f"{error}", action="degraded")
+            self.p.progress.task_degraded(task.key, f"{error}")
+            self.queue.append(
+                (replace(task, args=task.fallback_args, fallback_args=None),
+                 False))
+            return
+        if classification == PERMANENT:
+            self._fail(task, f"{error}", classification)
+            return
+        if attempt < self.p.max_attempts:
+            self.report.retried.append(task.key)
+            self.p.progress.task_retry(task.key, attempt, f"{error}",
+                                       classification=classification)
+            delay = self.p.backoff_for(task.key, attempt)
+            self._push_retry(task, self.p.clock() + delay,
+                             charge=True, probe=False)
+        else:
+            self._fail(task, f"{error}", classification)
+
+    def _fail(self, task: Task, error: str, classification: str) -> None:
+        self.report.failed[task.key] = error
+        self.report.failure_classes[task.key] = classification
+        self.p._record(task.key, self.attempts[task.key], error,
+                       action="abandoned", **{"class": classification})
+        self.p.progress.task_failed(task.key, error)
+
+    # ------------------------------------------------------------------
+    # watchdog
+    # ------------------------------------------------------------------
+    def _enforce_deadlines(self) -> None:
+        if not self.deadlines:
+            return
+        now = self.p.clock()
+        overdue = {future for future, deadline in self.deadlines.items()
+                   if deadline <= now}
+        if not overdue:
+            return
+        self.report.watchdog_kills += 1
+        # A hung worker cannot be cancelled individually: tear the whole
+        # pool down (SIGKILL), rebuild, and re-enqueue the innocent
+        # in-flight points without charging them an attempt.
+        in_flight = list(self.futures.items())
+        self.futures.clear()
+        self.future_gen.clear()
+        self.deadlines.clear()
+        self._shutdown(kill=True)
+        self._new_executor()
+        self.p.progress.pool_rebuilt(
+            self.report.pool_rebuilds, self.mode,
+            "watchdog: task deadline exceeded")
+        for future, task in in_flight:
+            if future not in overdue:
+                self.queue.append((task, False))
+                continue
+            timeout = task.timeout_s if task.timeout_s is not None \
+                else self.p.timeout_s
+            attempt = self.attempts[task.key]
+            error = TaskTimeout(
+                f"no result within {timeout:g}s (attempt {attempt}; "
+                f"worker killed)")
+            self.report.timeouts.append(task.key)
+            self.p.progress.task_timeout(task.key, attempt, timeout)
+            self.p._record(task.key, attempt, f"{error}", action="timeout",
+                           **{"class": TIMEOUT})
+            if attempt < self.p.max_attempts:
+                self.report.retried.append(task.key)
+                delay = self.p.backoff_for(task.key, attempt)
+                self._push_retry(task, self.p.clock() + delay,
+                                 charge=True, probe=False)
+            else:
+                self._fail(task, f"{error}", TIMEOUT)

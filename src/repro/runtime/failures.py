@@ -1,0 +1,147 @@
+"""Failure taxonomy for the execution engine.
+
+A week-long characterization campaign sees failures of very different
+natures, and retrying them identically is exactly wrong in both
+directions: a ``ConfigError`` is deterministic — re-running the point
+burns attempts (and wall-clock) to reach the same exception — while a
+full disk fails *every* point until an operator intervenes, so hammering
+retries turns one infrastructure event into a grid-wide abandonment.
+
+:func:`classify_failure` maps a worker exception onto one of four
+classes, each with its own retry policy in
+:class:`~repro.runtime.engine.TaskPool`:
+
+``transient``
+    Unknown/one-off errors (the default).  Retried with bounded,
+    jittered exponential backoff, charged against ``max_attempts``.
+``permanent``
+    Deterministic library errors (``ConfigError``-shaped): the same
+    inputs will raise the same way, so the point fails immediately with
+    a single ledger record and no retries.
+``timeout``
+    The watchdog killed the task's worker past its deadline
+    (:class:`TaskTimeout`).  Retried like a transient failure — a fresh
+    worker may simply have been scheduled onto a healthier moment.
+``infrastructure``
+    The *environment* failed, not the point: a broken process pool, a
+    full disk (``ENOSPC``), exhausted file descriptors.  The engine
+    pauses, probes the result directory for writability, and retries
+    without charging the point an attempt (bounded separately by
+    ``max_infra_retries``).
+
+The classification travels with every ledger record, the
+:class:`~repro.runtime.engine.PoolReport`, progress lines, and the
+end-of-run ``run_report.json``, so a post-mortem can separate "the model
+rejected this config" from "the disk filled up at 3am".
+"""
+
+from __future__ import annotations
+
+import errno
+from concurrent.futures import BrokenExecutor
+from typing import Callable
+
+from repro.errors import (
+    CharacterizationError,
+    ConfigError,
+    ProgramError,
+    ReproError,
+    UnknownModuleError,
+)
+
+__all__ = [
+    "TRANSIENT",
+    "PERMANENT",
+    "TIMEOUT",
+    "INFRASTRUCTURE",
+    "FAILURE_CLASSES",
+    "TaskTimeout",
+    "classify_failure",
+    "register_failure",
+]
+
+TRANSIENT = "transient"
+PERMANENT = "permanent"
+TIMEOUT = "timeout"
+INFRASTRUCTURE = "infrastructure"
+
+#: Every classification the engine understands, in severity order.
+FAILURE_CLASSES = (TRANSIENT, PERMANENT, TIMEOUT, INFRASTRUCTURE)
+
+
+class TaskTimeout(ReproError):
+    """A task's worker produced no result within its deadline.
+
+    Synthesized by the engine's watchdog (the worker itself was killed;
+    it never raises this), and classified as ``timeout``.
+    """
+
+
+#: ``errno`` values that mean the *host* failed, not the task: resource
+#: exhaustion and I/O-path faults an operator can fix while the campaign
+#: pauses and probes.
+_INFRA_ERRNOS = frozenset(
+    code
+    for code in (
+        getattr(errno, name, None)
+        for name in ("ENOSPC", "EDQUOT", "EROFS", "EIO",
+                     "EMFILE", "ENFILE", "ENOMEM", "EAGAIN")
+    )
+    if code is not None
+)
+
+#: Deterministic library errors: same inputs, same exception — retrying
+#: cannot succeed.  (Corrupt-*file* errors raised by loaders never reach
+#: this table; the engine quarantines and recomputes those separately.)
+_PERMANENT_TYPES: tuple[type[BaseException], ...] = (
+    ConfigError,
+    ProgramError,
+    UnknownModuleError,
+    CharacterizationError,
+)
+
+#: Extension rules, consulted newest-first before the built-in tables.
+_RULES: list[tuple[type[BaseException],
+                   Callable[[BaseException], bool] | None, str]] = []
+
+
+def register_failure(classification: str, exc_type: type[BaseException], *,
+                     when: Callable[[BaseException], bool] | None = None,
+                     ) -> None:
+    """Register a classification rule checked before the built-ins.
+
+    ``when`` optionally narrows the rule to instances it returns true
+    for (e.g. one specific ``errno``).  Later registrations win, so a
+    caller can override a built-in default for its own exception types.
+    """
+    if classification not in FAILURE_CLASSES:
+        raise ConfigError(
+            f"failure class must be one of {FAILURE_CLASSES}, "
+            f"got {classification!r}")
+    if not (isinstance(exc_type, type)
+            and issubclass(exc_type, BaseException)):
+        raise ConfigError(f"expected an exception type, got {exc_type!r}")
+    _RULES.append((exc_type, when, classification))
+
+
+def reset_failure_rules() -> None:
+    """Drop every registered extension rule (test isolation)."""
+    _RULES.clear()
+
+
+def classify_failure(error: BaseException) -> str:
+    """Map one worker exception onto its failure class."""
+    for exc_type, when, classification in reversed(_RULES):
+        if isinstance(error, exc_type) and (when is None or when(error)):
+            return classification
+    if isinstance(error, TaskTimeout):
+        return TIMEOUT
+    if isinstance(error, BrokenExecutor):
+        return INFRASTRUCTURE
+    if isinstance(error, (MemoryError, BlockingIOError)):
+        return INFRASTRUCTURE
+    if isinstance(error, OSError) and error.errno in _INFRA_ERRNOS:
+        return INFRASTRUCTURE
+    if isinstance(error, _PERMANENT_TYPES):
+        return PERMANENT
+    return TRANSIENT

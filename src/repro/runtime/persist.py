@@ -28,25 +28,60 @@ TMP_SUFFIX = ".tmp"
 CORRUPT_SUFFIX = ".corrupt"
 
 
-def write_atomic(path: str | Path, text: str) -> Path:
+def write_atomic(path: str | Path, text: str, *, durable: bool = False) -> Path:
     """Write ``text`` to ``path`` atomically (tmp file + ``os.replace``).
 
     The temp file lives in the target directory (``os.replace`` is only
     atomic within one filesystem) and carries the writer's PID so
     concurrent workers never collide on it.  A crash between the two steps
     leaves only a stale ``*.tmp`` file, never a truncated result.
+
+    ``durable=True`` additionally fsyncs the temp file before the rename
+    and the parent directory after it.  The rename alone survives *process*
+    crashes but not power loss: without the syncs the kernel may still hold
+    both the data and the directory entry in the page cache, and a reboot
+    can resurface an empty or missing result that existence-based resume
+    then trusts.  Campaign and sweep results — hours of compute per file —
+    are written durably; caches and ledgers accept the cheaper default.
     """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     tmp = path.with_name(f"{path.name}.{os.getpid()}{TMP_SUFFIX}")
     try:
-        tmp.write_text(text)
+        if durable:
+            with tmp.open("w") as handle:
+                handle.write(text)
+                handle.flush()
+                os.fsync(handle.fileno())
+        else:
+            tmp.write_text(text)
         os.replace(tmp, path)
+        if durable:
+            _fsync_dir(path.parent)
     finally:
         # Only reached with the tmp file still present if write or replace
         # failed; never remove the published result.
         tmp.unlink(missing_ok=True)
     return path
+
+
+def _fsync_dir(directory: Path) -> None:
+    """Flush a directory entry (the rename itself) to stable storage.
+
+    Directory fds are not openable on some platforms/filesystems; losing
+    the sync there only narrows the durability window back to the
+    non-durable behavior, so failures are deliberately non-fatal.
+    """
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
 
 
 def quarantine(path: str | Path) -> Path:

@@ -25,11 +25,26 @@ class ProgressReporter:
     def task_done(self, key: str) -> None:
         """One task computed and persisted successfully."""
 
-    def task_retry(self, key: str, attempt: int, error: str) -> None:
-        """One attempt failed; the task will be retried."""
+    def task_retry(self, key: str, attempt: int, error: str, *,
+                   classification: str = "transient") -> None:
+        """One attempt failed; the task will be retried.
+
+        ``classification`` is the engine's failure-taxonomy verdict
+        (:mod:`repro.runtime.failures`): transient, timeout, or
+        infrastructure — permanent failures are never retried.
+        """
+
+    def task_timeout(self, key: str, attempt: int, timeout_s: float) -> None:
+        """The watchdog killed a worker that overran its deadline."""
+
+    def task_degraded(self, key: str, error: str) -> None:
+        """A fast kernel failed; the task re-runs on its fallback kernel."""
 
     def task_failed(self, key: str, error: str) -> None:
         """A task exhausted its attempts and was abandoned."""
+
+    def pool_rebuilt(self, rebuilds: int, mode: str, reason: str) -> None:
+        """The worker pool died (or was killed) and was replaced."""
 
     def finish(self) -> None:
         """The run is over (successfully or not)."""
@@ -67,13 +82,27 @@ class PrintProgress(ProgressReporter):
         self._emit(f"[{self._finished}/{self.total}] done {key}"
                    f" ({self._timing()})")
 
-    def task_retry(self, key: str, attempt: int, error: str) -> None:
+    def task_retry(self, key: str, attempt: int, error: str, *,
+                   classification: str = "transient") -> None:
         self._emit(f"[{self._finished}/{self.total}] retry {key} "
-                   f"(attempt {attempt} failed: {error})")
+                   f"(attempt {attempt} failed [{classification}]: {error})")
+
+    def task_timeout(self, key: str, attempt: int, timeout_s: float) -> None:
+        self._emit(f"[{self._finished}/{self.total}] timeout {key} "
+                   f"(attempt {attempt} exceeded {timeout_s:g}s; "
+                   f"worker killed)")
+
+    def task_degraded(self, key: str, error: str) -> None:
+        self._emit(f"[{self._finished}/{self.total}] degraded {key} "
+                   f"(fast kernel failed: {error}; retrying on the "
+                   f"fallback kernel)")
 
     def task_failed(self, key: str, error: str) -> None:
         self.failed += 1
         self._emit(f"[{self._finished}/{self.total}] FAILED {key}: {error}")
+
+    def pool_rebuilt(self, rebuilds: int, mode: str, reason: str) -> None:
+        self._emit(f"worker pool rebuilt (#{rebuilds}, now {mode}): {reason}")
 
     def finish(self) -> None:
         elapsed = self.clock() - self.started_at

@@ -7,18 +7,21 @@ import pytest
 from repro.bender.host import DRAMBenderHost
 from repro.exec import reset_default_policy
 from repro.runtime.cache import reset_cache_counters
+from repro.runtime.failures import reset_failure_rules
 from repro.sim.config import SystemConfig
 from repro.workloads.synth import TraceSpec, generate_trace
 
 
 @pytest.fixture(autouse=True)
 def _fresh_execution_state():
-    """Isolate the process-wide execution policy and cache counters."""
+    """Isolate the process-wide execution policy, caches, failure rules."""
     reset_default_policy()
     reset_cache_counters()
+    reset_failure_rules()
     yield
     reset_default_policy()
     reset_cache_counters()
+    reset_failure_rules()
 
 
 @pytest.fixture(scope="session")

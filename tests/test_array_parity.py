@@ -21,6 +21,7 @@ from repro.analysis.figures import (
 from repro.cli import main
 from repro.exec import ExecutionPolicy, set_default_policy
 from repro.exec.parity import assert_parity
+from repro.runtime import REPORT_NAME
 
 #: Small grids: enough rows/points to exercise every kernel path, small
 #: enough that the whole module stays CI-fast.
@@ -72,7 +73,8 @@ def test_cli_sweep_rows_byte_identical(tmp_path):
         assert main(["sweep", "--dir", str(out), "--jobs", "1",
                      "--mitigations", "Graphene,PARA", "--nrh", "128",
                      "--requests", "300", "--kernel-policy", policy]) == 0
-        rows = {p.name: p.read_bytes() for p in sorted(out.glob("*.json"))}
+        rows = {p.name: p.read_bytes() for p in sorted(out.glob("*.json"))
+                if p.name != REPORT_NAME}  # run metadata, not a result row
         assert rows
         return rows
 

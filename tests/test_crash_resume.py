@@ -16,7 +16,7 @@ from repro.characterization.campaign import (
     CharacterizationCampaign,
 )
 from repro.errors import CharacterizationError
-from repro.runtime import CORRUPT_SUFFIX
+from repro.runtime import CORRUPT_SUFFIX, REPORT_NAME
 
 
 def tiny_campaign(results_dir) -> CharacterizationCampaign:
@@ -32,7 +32,10 @@ def tiny_grid() -> SweepGrid:
 
 
 def result_bytes(directory) -> dict[str, bytes]:
-    return {p.name: p.read_bytes() for p in sorted(directory.glob("*.json"))}
+    # run_report.json is run metadata (timings, retry counts), not a
+    # result: byte-identity applies to the science, not the telemetry.
+    return {p.name: p.read_bytes() for p in sorted(directory.glob("*.json"))
+            if p.name != REPORT_NAME}
 
 
 class TestCampaignCrashResume:

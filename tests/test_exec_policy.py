@@ -26,6 +26,7 @@ from repro.exec import (
     set_default_policy,
     validate_stage_kernel,
 )
+from repro.runtime import REPORT_NAME
 from repro.validation import default_check_mode
 
 SRC_ROOT = Path(__file__).resolve().parent.parent / "src" / "repro"
@@ -189,7 +190,8 @@ class TestDeprecatedShims:
                 "--mitigations", "Graphene", "--nrh", "128",
                 "--requests", "300"] + extra
         assert main(argv) == 0
-        rows = {p.name: p.read_bytes() for p in sorted(out.glob("*.json"))}
+        rows = {p.name: p.read_bytes() for p in sorted(out.glob("*.json"))
+                if p.name != REPORT_NAME}  # run metadata, not a result row
         assert rows
         return rows
 

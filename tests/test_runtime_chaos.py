@@ -1,0 +1,38 @@
+"""Chaos-harness regression tests (repro.validation.chaos).
+
+Each scenario injects one deterministic runtime fault (killed worker,
+hung worker, torn write, full disk, corrupted cache entry, ...) and
+asserts the execution engine either absorbs it — completing with results
+byte-identical to a fault-free run — or fails it in a classified,
+attributable way.  A scenario whose status is ``missed`` means a
+hardening guarantee regressed.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.validation.chaos import ALL_CHAOS, run_chaos_matrix
+from repro.validation.faults import MISSED
+
+_SEED = 2025
+_BY_NAME = {scenario.name: scenario for scenario in ALL_CHAOS}
+
+
+def test_scenario_names_unique():
+    assert len(_BY_NAME) == len(ALL_CHAOS)
+
+
+@pytest.mark.parametrize("name", sorted(_BY_NAME))
+def test_chaos_scenario_covered(name, tmp_path):
+    scenario = _BY_NAME[name]
+    result = scenario.run(tmp_path, seed=_SEED)
+    assert result.status == scenario.expected, result.evidence
+    assert result.status != MISSED, result.evidence
+
+
+def test_chaos_matrix_all_covered(tmp_path):
+    """The CLI entry point (`repro chaos`) over the full scenario set."""
+    report = run_chaos_matrix(tmp_path, seed=_SEED)
+    assert report.all_covered, report.summary()
+    assert len(report.results) == len(ALL_CHAOS)

@@ -127,11 +127,12 @@ class TestTaskPool:
                     args=(str(tmp_path / "calls"), 2, 6, str(path)))
         sleeps = []
         pool = TaskPool(jobs=1, max_attempts=3, backoff_s=0.5,
+                        backoff_jitter=0, clock=lambda: 0.0,
                         ledger_path=tmp_path / "errors.jsonl",
                         sleep=sleeps.append)
         results = pool.run([task], loader=_load_square)
         assert results["flaky"] == 36
-        assert sleeps == [0.5, 1.0]  # exponential backoff
+        assert sleeps == [0.5, 1.0]  # exponential backoff, jitter disabled
         ledger = [json.loads(line) for line in
                   (tmp_path / "errors.jsonl").read_text().splitlines()]
         assert [r["attempt"] for r in ledger] == [1, 2]
@@ -272,3 +273,344 @@ class TestLedgerCapAndTiming:
     def test_invalid_cap_rejected(self):
         with pytest.raises(ConfigError):
             TaskPool(ledger_max_bytes=0)
+
+
+# ----------------------------------------------------------------------
+# Hardened-runtime workers (module-level: they cross the pool boundary).
+# ----------------------------------------------------------------------
+def _sigkill_once_then_square(marker: str, n: int, path: str) -> None:
+    import os
+    import signal
+    if not Path(marker).exists():
+        Path(marker).write_text("died")
+        os.kill(os.getpid(), signal.SIGKILL)
+    _write_square(n, path)
+
+
+def _sigkill_always(n: int, path: str) -> None:
+    import os
+    import signal
+    os.kill(os.getpid(), signal.SIGKILL)
+
+
+def _hang_once_then_square(marker: str, n: int, path: str) -> None:
+    import time
+    if not Path(marker).exists():
+        Path(marker).write_text("hung")
+        time.sleep(60.0)
+    _write_square(n, path)
+
+
+def _config_error_worker(path: str) -> None:
+    raise ConfigError("deterministic bad config")
+
+
+def _enospc_once_then_square(marker: str, n: int, path: str) -> None:
+    import errno
+    if not Path(marker).exists():
+        Path(marker).write_text("full")
+        raise OSError(errno.ENOSPC, "No space left on device", path)
+    _write_square(n, path)
+
+
+def _kernel_sensitive_square(mode: str, n: int, path: str) -> None:
+    """Fails on the "fast" args, succeeds on the "oracle" fallback args."""
+    if mode == "fast":
+        raise RuntimeError("injected fast-kernel fault")
+    _write_square(n, path)
+
+
+class TestBrokenPoolRecovery:
+    def test_sigkilled_worker_does_not_fail_survivors(self, tmp_path):
+        """A worker SIGKILLed mid-task (OOM-killer style) breaks the whole
+        ProcessPoolExecutor; the engine must rebuild it and complete every
+        point, charging no innocent task an attempt."""
+        tasks = [_square_task(tmp_path, n) for n in range(4)]
+        marker = str(tmp_path / "killed.marker")
+        from dataclasses import replace
+        tasks[1] = replace(tasks[1], fn=_sigkill_once_then_square,
+                           args=(marker,) + tasks[1].args)
+        pool = TaskPool(jobs=2, backoff_s=0.01,
+                        ledger_path=tmp_path / "errors.jsonl")
+        results = pool.run(tasks, loader=_load_square)
+        assert [results[f"sq{n}"] for n in range(4)] == [0, 1, 4, 9]
+        assert pool.last_report.pool_rebuilds >= 1
+        assert pool.last_report.failed == {}
+
+    def test_poison_task_fails_alone_with_infrastructure_class(self, tmp_path):
+        """A task that kills its worker on *every* attempt must end up
+        isolated and abandoned — without taking any other point with it."""
+        tasks = [_square_task(tmp_path, n) for n in range(3)]
+        bad_path = tmp_path / "poison.json"
+        tasks.append(Task(key="poison", path=bad_path, fn=_sigkill_always,
+                          args=(0, str(bad_path))))
+        pool = TaskPool(jobs=2, max_attempts=2, max_pool_rebuilds=2,
+                        backoff_s=0.01,
+                        ledger_path=tmp_path / "errors.jsonl")
+        with pytest.raises(ExecutionError, match=r"poison \[infrastructure\]"):
+            pool.run(tasks, loader=_load_square)
+        report = pool.last_report
+        assert set(report.failed) == {"poison"}
+        assert report.failure_classes["poison"] == "infrastructure"
+        assert report.final_mode == "isolated"
+        for n in range(3):
+            assert _load_square(tmp_path / f"sq{n}.json") == n * n
+
+
+class TestWatchdog:
+    def test_hung_worker_killed_at_deadline_and_retried(self, tmp_path):
+        import time
+        tasks = [_square_task(tmp_path, n) for n in range(3)]
+        marker = str(tmp_path / "hung.marker")
+        from dataclasses import replace
+        tasks[0] = replace(tasks[0], fn=_hang_once_then_square,
+                           args=(marker,) + tasks[0].args)
+        pool = TaskPool(jobs=2, timeout_s=0.5, backoff_s=0.01,
+                        ledger_path=tmp_path / "errors.jsonl")
+        started = time.monotonic()
+        results = pool.run(tasks, loader=_load_square)
+        assert time.monotonic() - started < 30.0  # never waited out the hang
+        assert [results[f"sq{n}"] for n in range(3)] == [0, 1, 4]
+        report = pool.last_report
+        assert report.watchdog_kills >= 1
+        assert "sq0" in report.timeouts
+        ledger = [json.loads(line) for line in
+                  (tmp_path / "errors.jsonl").read_text().splitlines()]
+        timeout_records = [r for r in ledger if r["action"] == "timeout"]
+        assert timeout_records
+        assert all(r["class"] == "timeout" for r in timeout_records)
+
+    def test_per_task_timeout_overrides_pool_timeout(self, tmp_path):
+        from dataclasses import replace
+        marker = str(tmp_path / "hung.marker")
+        task = _square_task(tmp_path, 5)
+        task = replace(task, fn=_hang_once_then_square,
+                       args=(marker,) + task.args, timeout_s=0.5)
+        # Pool-wide deadline is generous; the task's own is what fires.
+        pool = TaskPool(jobs=2, timeout_s=300.0, backoff_s=0.01)
+        results = pool.run([task, _square_task(tmp_path, 6)],
+                           loader=_load_square)
+        assert results["sq5"] == 25
+        assert pool.last_report.timeouts == ["sq5"]
+
+
+class TestFailureClassification:
+    def test_config_error_fails_immediately_without_retries(self, tmp_path):
+        bad_path = tmp_path / "bad.json"
+        tasks = [Task(key="bad", path=bad_path, fn=_config_error_worker,
+                      args=(str(bad_path),)),
+                 _square_task(tmp_path, 3)]
+        pool = TaskPool(jobs=1, max_attempts=5, backoff_s=0.01,
+                        sleep=lambda s: None,
+                        ledger_path=tmp_path / "errors.jsonl")
+        with pytest.raises(ExecutionError, match=r"bad \[permanent\]"):
+            pool.run(tasks, loader=_load_square)
+        report = pool.last_report
+        assert report.failure_classes["bad"] == "permanent"
+        assert report.retried == []  # no futile retries of a ConfigError
+        ledger = [json.loads(line) for line in
+                  (tmp_path / "errors.jsonl").read_text().splitlines()]
+        attempts = [r for r in ledger if r["action"] == "attempt"]
+        assert len(attempts) == 1
+        assert attempts[0]["class"] == "permanent"
+
+    def test_enospc_pauses_probes_and_recovers_without_charging(self, tmp_path):
+        marker = str(tmp_path / "full.marker")
+        path = tmp_path / "r.json"
+        task = Task(key="point", path=path, fn=_enospc_once_then_square,
+                    args=(marker, 6, str(path)))
+        # max_attempts=1: if the ENOSPC attempt were charged, the point
+        # could never succeed — the refund is what this asserts.
+        pool = TaskPool(jobs=1, max_attempts=1, infra_pause_s=0.01,
+                        ledger_path=tmp_path / "errors.jsonl")
+        results = pool.run([task], loader=_load_square)
+        assert results["point"] == 36
+        assert pool.last_report.infra_pauses >= 1
+        ledger = [json.loads(line) for line in
+                  (tmp_path / "errors.jsonl").read_text().splitlines()]
+        pauses = [r for r in ledger if r["action"] == "infra-pause"]
+        assert pauses and all(r["class"] == "infrastructure" for r in pauses)
+
+    def test_registered_rule_overrides_builtin(self, tmp_path):
+        from repro.runtime.failures import (
+            classify_failure,
+            register_failure,
+            reset_failure_rules,
+        )
+        assert classify_failure(RuntimeError("x")) == "transient"
+        register_failure("permanent", RuntimeError,
+                         when=lambda e: "fatal" in str(e))
+        assert classify_failure(RuntimeError("fatal: x")) == "permanent"
+        assert classify_failure(RuntimeError("x")) == "transient"
+        reset_failure_rules()
+        assert classify_failure(RuntimeError("fatal: x")) == "transient"
+
+
+class TestKernelDegradation:
+    def test_fallback_args_used_after_primary_failure(self, tmp_path):
+        path = tmp_path / "r.json"
+        task = Task(key="point", path=path, fn=_kernel_sensitive_square,
+                    args=("fast", 7, str(path)),
+                    fallback_args=("oracle", 7, str(path)))
+        # max_attempts=1: the degradation re-run is free, so the point
+        # still succeeds even though its single attempt failed.
+        pool = TaskPool(jobs=1, max_attempts=1,
+                        ledger_path=tmp_path / "errors.jsonl")
+        results = pool.run([task], loader=_load_square)
+        assert results["point"] == 49
+        assert pool.last_report.degraded == ["point"]
+        ledger = [json.loads(line) for line in
+                  (tmp_path / "errors.jsonl").read_text().splitlines()]
+        assert [r["action"] for r in ledger] == ["attempt", "degraded"]
+
+    def test_degradation_happens_at_most_once(self, tmp_path):
+        path = tmp_path / "r.json"
+        task = Task(key="point", path=path, fn=_kernel_sensitive_square,
+                    args=("fast", 7, str(path)),
+                    fallback_args=("fast", 7, str(path)))  # fallback also bad
+        pool = TaskPool(jobs=1, max_attempts=2, backoff_s=0,
+                        sleep=lambda s: None,
+                        ledger_path=tmp_path / "errors.jsonl")
+        with pytest.raises(ExecutionError):
+            pool.run([task], loader=_load_square)
+        ledger = [json.loads(line) for line in
+                  (tmp_path / "errors.jsonl").read_text().splitlines()]
+        assert [r["action"] for r in ledger].count("degraded") == 1
+
+
+class TestBackoffSchedule:
+    def test_backoff_bounded_and_jitter_deterministic(self):
+        pool = TaskPool(jobs=1, backoff_s=0.5, backoff_max_s=4.0,
+                        backoff_jitter=0.25, seed=7)
+        twin = TaskPool(jobs=1, backoff_s=0.5, backoff_max_s=4.0,
+                        backoff_jitter=0.25, seed=7)
+        other = TaskPool(jobs=1, backoff_s=0.5, backoff_max_s=4.0,
+                         backoff_jitter=0.25, seed=8)
+        delays = [pool.backoff_for("k", attempt) for attempt in range(1, 12)]
+        # Bounded: never beyond the cap plus its jitter fraction.
+        assert all(d <= 4.0 * 1.25 for d in delays)
+        assert all(d >= 0.5 for d in delays)
+        # Deterministic per (seed, key, attempt); different seeds differ.
+        assert delays == [twin.backoff_for("k", a) for a in range(1, 12)]
+        assert delays != [other.backoff_for("k", a) for a in range(1, 12)]
+        # Exponential base growth before the cap.
+        plain = TaskPool(jobs=1, backoff_s=0.5, backoff_max_s=64.0,
+                         backoff_jitter=0)
+        assert [plain.backoff_for("k", a) for a in (1, 2, 3)] == \
+            [0.5, 1.0, 2.0]
+
+    def test_retry_wait_does_not_block_completed_work(self, tmp_path):
+        """Retries are scheduled, not slept through: other queued tasks
+        complete before the engine waits out a backoff."""
+        events = []
+
+        class Recorder(ProgressReporter):
+            def task_done(self, key):
+                events.append(("done", key))
+
+            def task_retry(self, key, attempt, error, *, classification):
+                events.append(("retry", key))
+
+        flaky_path = tmp_path / "flaky.json"
+        tasks = [Task(key="flaky", path=flaky_path, fn=_flaky_square,
+                      args=(str(tmp_path / "calls"), 1, 6, str(flaky_path))),
+                 _square_task(tmp_path, 3)]
+        pool = TaskPool(jobs=1, backoff_s=5.0, backoff_jitter=0,
+                        clock=lambda: 0.0,
+                        sleep=lambda s: events.append(("sleep", s)),
+                        progress=Recorder())
+        results = pool.run(tasks, loader=_load_square)
+        assert results["flaky"] == 36 and results["sq3"] == 9
+        # The healthy task finished before any backoff sleep happened.
+        assert events.index(("done", "sq3")) < events.index(("sleep", 5.0))
+
+
+class TestRunReport:
+    def test_run_report_written_next_to_ledger(self, tmp_path):
+        from repro.runtime import REPORT_NAME
+        tasks = [_square_task(tmp_path, n) for n in (1, 2)]
+        pool = TaskPool(jobs=1, ledger_path=tmp_path / "errors.jsonl")
+        pool.run(tasks, loader=_load_square)
+        payload = json.loads((tmp_path / REPORT_NAME).read_text())
+        assert payload["schema_version"] == 1
+        assert payload["tasks"] == 2
+        assert payload["counts"]["computed"] == 2
+        assert payload["counts"]["failed"] == 0
+        assert payload["pool"]["final_mode"] == "inline"
+        assert payload["elapsed_s"] >= 0
+
+    @settings(max_examples=15, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    @given(shapes=st.lists(st.sampled_from(["good", "flaky", "bad"]),
+                           min_size=1, max_size=6))
+    def test_run_report_counts_consistent_with_ledger(self, tmp_path, shapes):
+        """Property: whatever mix of healthy/flaky/permanently-failing
+        tasks runs, run_report.json agrees with the error ledger and the
+        task list."""
+        from repro.runtime import REPORT_NAME
+        run_dir = tmp_path / f"case-{len(list(tmp_path.iterdir()))}"
+        run_dir.mkdir()
+        tasks = []
+        for index, shape in enumerate(shapes):
+            path = run_dir / f"t{index}.json"
+            if shape == "good":
+                tasks.append(Task(key=f"t{index}", path=path,
+                                  fn=_write_square,
+                                  args=(index, str(path))))
+            elif shape == "flaky":
+                tasks.append(Task(key=f"t{index}", path=path,
+                                  fn=_flaky_square,
+                                  args=(str(run_dir / f"calls{index}"), 1,
+                                        index, str(path))))
+            else:
+                tasks.append(Task(key=f"t{index}", path=path,
+                                  fn=_always_fail, args=(str(path),)))
+        pool = TaskPool(jobs=1, max_attempts=2, backoff_s=0,
+                        sleep=lambda s: None,
+                        ledger_path=run_dir / "errors.jsonl")
+        try:
+            pool.run(tasks, loader=_load_square)
+        except ExecutionError:
+            pass
+        payload = json.loads((run_dir / REPORT_NAME).read_text())
+        counts = payload["counts"]
+        assert payload["tasks"] == len(tasks)
+        assert counts["computed"] + counts["reused"] + counts["failed"] \
+            == len(tasks)
+        ledger_path = run_dir / "errors.jsonl"
+        ledger = ([json.loads(line) for line in
+                   ledger_path.read_text().splitlines()]
+                  if ledger_path.exists() else [])
+        abandoned = {r["key"] for r in ledger if r["action"] == "abandoned"}
+        assert set(payload["failed"]) == abandoned
+        assert counts["failed"] == len(abandoned)
+        for key, detail in payload["failed"].items():
+            assert detail["class"] in ("transient", "permanent", "timeout",
+                                       "infrastructure")
+        class_totals = sum(payload["failure_classes"].values())
+        assert class_totals == counts["failed"]
+
+
+class TestDurableWrites:
+    def test_durable_write_fsyncs_file_and_directory(self, tmp_path,
+                                                     monkeypatch):
+        import os
+        synced = []
+        real_fsync = os.fsync
+
+        def spy(fd):
+            synced.append(fd)
+            real_fsync(fd)
+
+        monkeypatch.setattr(os, "fsync", spy)
+        path = tmp_path / "r.json"
+        write_atomic(path, "payload", durable=True)
+        assert path.read_text() == "payload"
+        assert len(synced) == 2  # the temp file, then the parent directory
+
+    def test_default_write_skips_fsync(self, tmp_path, monkeypatch):
+        import os
+        synced = []
+        monkeypatch.setattr(os, "fsync", lambda fd: synced.append(fd))
+        write_atomic(tmp_path / "r.json", "payload")
+        assert synced == []
