@@ -11,7 +11,7 @@ point normalized against its no-PaCRAM baseline) three ways:
 * **array** — the structure-of-arrays kernel
   (:mod:`repro.sim.arraykernel`) with the same memoized baselines.
 
-Four contracts are asserted, not just reported:
+Five contracts are asserted, not just reported:
 
 * all three phases produce identical normalized series (the scalar path
   is the parity oracle, and memoized baselines must replay exactly);
@@ -19,25 +19,36 @@ Four contracts are asserted, not just reported:
   output under any kernel;
 * the batched workflow is at least 5x faster end-to-end on this sweep;
 * the array workflow is at least 6x faster end-to-end, and strictly
-  faster than the batched workflow.
+  faster than the batched workflow;
+* on the mitigation-heavy kernel-level sweep (double-sided attack,
+  per-mechanism ``service_batch`` vs. ``service_array`` with cores and
+  queues pre-built), the array tier's aggregate margin over the batched
+  tier is at least 2.5x across the epoch-batchable mechanisms.
 
-A note on the array floor: the array tier's kernel-level margin over
-the batched tier is 1.2-1.45x on this sweep, not 2x, and cannot reach
-2x while staying bit-exact — component accounting shows more than half
-of the batched tier's per-request time is spent in costs both fast
-tiers share verbatim (mitigation plugin calls, C-level ``bisect`` /
-``insort`` queue ops, latency and energy bookkeeping), which bounds any
-bit-exact rewrite of the remainder below 2x.  The workflow headline
-(naive scalar recompute vs. fast kernel + memoized baselines) is where
-the array tier's floor sits a full point above the batched tier's.
+The 2.5x kernel-level margin is what epoch dispatch bought.  The costs
+both fast tiers used to share verbatim — a mitigation plugin call, two
+``bisect`` probes through a Python key callable, and latency/energy
+bookkeeping on every request — are gone from the array tier's steady
+state: mechanisms grant an ``epoch_credit()`` of guaranteed action-free
+activations, the kernel buffers whole epochs into columnar arrays and
+flushes them through one ``on_activation_epoch`` call, latency folds
+per-epoch via ``np.unique``, and a single-queued-read fast path skips
+the scheduler gate entirely.  Hydra is measured and reported but sits
+outside the asserted aggregate: once any row group goes hot, its
+RCC/RCT tiers are order-dependent (LRU recency plus metadata accesses
+on cache misses), so its honest epoch credit is zero until the next
+refresh-window reset and it steps scalar through the hot phase
+(~2.2x measured, structurally capped).
 
-Every phase is timed best-of-two: the ratios have small denominators,
-so a single noisy run could flake the floors.
+Every workflow phase is timed best-of-two and the kernel-level sweep
+interleaved best-of-four: the ratios have small denominators, so a
+single noisy run could flake the floors.
 
 Results land in ``bench_results/system_scaling.txt`` plus a
 machine-readable ``bench_results/BENCH_system_scaling.json``.
 """
 
+import gc
 import json
 import time
 
@@ -46,6 +57,12 @@ from bench_util import RESULTS_DIR, run_once, save_result
 from repro.analysis.baselines import BaselineCache
 from repro.analysis.figures import fig17_18_performance_energy, fig19_periodic
 from repro.analysis.runner import pacram_reference_config, run_simulation
+from repro.mitigations import make_mitigation
+from repro.sim.arraykernel import ArrayCore, SharedQueues, service_array
+from repro.sim.config import SystemConfig
+from repro.sim.kernels import BatchCore, service_batch
+from repro.sim.system import MemorySystem
+from repro.workloads.attack import double_sided_trace
 
 _TRAS_FACTORS = (0.81, 0.64, 0.45, 0.36, 0.27)
 _VENDORS = ("H", "S")
@@ -57,6 +74,25 @@ _REQUESTS = 2_500
 #: fast kernel + memoized baselines).
 _BATCHED_FLOOR = 5.0
 _ARRAY_FLOOR = 6.0
+
+#: Mitigation-heavy kernel-level sweep: a single-core double-sided attack
+#: at high nRH keeps every mechanism live (counters moving, epochs
+#: bounded) without triggering so often that both kernels degenerate to
+#: the same scalar boundary work.
+_EPOCH_NRH = 1024
+_EPOCH_HAMMERS = 6_000
+_EPOCH_MECHANISMS = ("PARA", "Graphene", "Hydra", "RFM", "PRAC")
+#: Mechanisms whose epoch credit stays meaningfully large on this sweep.
+#: Hydra is measured and reported but excluded from the asserted
+#: aggregate: once a row group goes hot its RCC/RCT tiers are
+#: order-dependent, so its honest credit is zero until the refresh
+#: window resets (see the module docstring).
+_EPOCH_BATCHABLE = ("PARA", "Graphene", "RFM", "PRAC")
+#: Asserted aggregate array-over-batched margin across _EPOCH_BATCHABLE.
+_EPOCH_MARGIN_FLOOR = 2.5
+_EPOCH_ROUNDS = 4
+#: Whole sweeps retried (best-of) when a machine-wide blip depresses one.
+_EPOCH_ATTEMPTS = 3
 
 
 def _sweep(sim_kernel, cache):
@@ -97,16 +133,110 @@ def _timed_sweep(sim_kernel, make_cache, *, rounds=2):
     return sweep, best_s, cache
 
 
+def _epoch_kernel_margin():
+    """Per-mechanism ``service_batch`` vs. ``service_array`` timing.
+
+    This measures the kernels proper: cores and shared queues are built
+    outside the timed region and the trace is decoded once, so the
+    ratio isolates the per-request drain-loop cost — the thing epoch
+    dispatch exists to eliminate.  The two kernels run interleaved
+    (best-of-``_EPOCH_ROUNDS`` each) so both see the same cache and
+    frequency conditions, and every round's controller stats must match
+    the first round's: a fast kernel that changes results is not a fast
+    kernel.
+    """
+    config = SystemConfig(num_cores=1)
+    traces = [double_sided_trace(config, hammers=_EPOCH_HAMMERS)]
+
+    def batched_run(name):
+        mech = make_mitigation(name, _EPOCH_NRH, batched=True,
+                               config=config)
+        sys_ = MemorySystem(config, traces, mitigation=mech)
+        cores = [BatchCore(core) for core in sys_.cores]
+        started = time.perf_counter()
+        core_stats = service_batch(sys_, cores)
+        elapsed = time.perf_counter() - started
+        return elapsed, sys_._collect(core_stats)
+
+    def array_run(name):
+        mech = make_mitigation(name, _EPOCH_NRH, batched=True,
+                               config=config)
+        sys_ = MemorySystem(config, traces, mitigation=mech)
+        shared = SharedQueues()
+        cores = [ArrayCore(core, shared) for core in sys_.cores]
+        started = time.perf_counter()
+        core_stats = service_array(sys_, cores, shared)
+        elapsed = time.perf_counter() - started
+        return elapsed, sys_._collect(core_stats)
+
+    def sweep_once():
+        per_mechanism = {}
+        # Cyclic-GC passes triggered by the kernels' allocations would
+        # rescan the whole live heap inside the timed regions and swamp
+        # the (small) denominators.
+        gc.collect()
+        gc.disable()
+        try:
+            for name in _EPOCH_MECHANISMS:
+                best = {"batched": float("inf"), "array": float("inf")}
+                reference = None
+                for _ in range(_EPOCH_ROUNDS):
+                    for variant, run in (("batched", batched_run),
+                                         ("array", array_run)):
+                        elapsed, result = run(name)
+                        best[variant] = min(best[variant], elapsed)
+                        stats = result.controller_stats
+                        signature = (stats.reads, stats.activations,
+                                     stats.preventive_refresh_rows,
+                                     stats.row_hits)
+                        if reference is None:
+                            reference = signature
+                        assert signature == reference, (name, variant,
+                                                        signature,
+                                                        reference)
+                per_mechanism[name] = {
+                    "batched_s": best["batched"],
+                    "array_s": best["array"],
+                    "ratio": best["batched"] / best["array"],
+                }
+        finally:
+            gc.enable()
+        aggregate = (sum(per_mechanism[m]["batched_s"]
+                         for m in _EPOCH_BATCHABLE)
+                     / sum(per_mechanism[m]["array_s"]
+                           for m in _EPOCH_BATCHABLE))
+        return per_mechanism, aggregate
+
+    # The margin is a property of the code, but each measurement is a
+    # property of the machine's moment: on a shared runner, whole-process
+    # blips (frequency steps, noisy neighbours) depress every cell of one
+    # sweep together, which best-of-rounds inside the sweep cannot undo.
+    # Best-of-attempts across sweeps does, with an early exit so the
+    # common case pays for one.
+    best_sweep, best_aggregate = sweep_once()
+    for _ in range(_EPOCH_ATTEMPTS - 1):
+        if best_aggregate >= _EPOCH_MARGIN_FLOOR * 1.04:
+            break
+        per_mechanism, aggregate = sweep_once()
+        if aggregate > best_aggregate:
+            best_sweep, best_aggregate = per_mechanism, aggregate
+    return best_sweep, best_aggregate
+
+
 def _run_all_phases():
+    # Kernel-level sweep first: it times small denominators against a
+    # still-small heap, before the workflow phases allocate theirs.
+    per_mechanism, epoch_margin = _epoch_kernel_margin()
     before, before_s, _ = _timed_sweep("scalar", lambda: None)
     after, after_s, cache = _timed_sweep("batched", BaselineCache)
     array, array_s, _ = _timed_sweep("array", BaselineCache)
-    return before, before_s, after, after_s, array, array_s, cache
+    return (before, before_s, after, after_s, array, array_s, cache,
+            per_mechanism, epoch_margin)
 
 
 def bench_system_scaling(benchmark):
-    before, before_s, after, after_s, array, array_s, cache = run_once(
-        benchmark, _run_all_phases)
+    (before, before_s, after, after_s, array, array_s, cache,
+     per_mechanism, epoch_margin) = run_once(benchmark, _run_all_phases)
     # Parity first: a fast path that changes results is not a fast path.
     assert before == after
     assert before == array
@@ -115,6 +245,11 @@ def bench_system_scaling(benchmark):
     speedup = before_s / after_s if after_s > 0 else float("inf")
     array_speedup = before_s / array_s if array_s > 0 else float("inf")
     array_vs_batched = after_s / array_s if array_s > 0 else float("inf")
+    epoch_lines = "\n".join(
+        f"  {name:9s} batched={row['batched_s'] * 1e3:7.2f}ms "
+        f"array={row['array_s'] * 1e3:7.2f}ms ratio={row['ratio']:.2f}x"
+        + ("" if name in _EPOCH_BATCHABLE else "  (reported, not asserted)")
+        for name, row in per_mechanism.items())
     text = (
         f"sweep: {len(_MITIGATIONS)} mitigations x {len(_VENDORS)} vendors "
         f"x {len(_TRAS_FACTORS)} tRAS factors x {len(_WORKLOADS)} "
@@ -126,7 +261,12 @@ def bench_system_scaling(benchmark):
         f"speedup (array):   {array_speedup:.1f}x "
         f"({array_vs_batched:.2f}x over batched)\n"
         f"baseline-cache hits: {cache.hits}  misses: {cache.misses}  "
-        f"hit rate: {cache.hit_rate():.2f}")
+        f"hit rate: {cache.hit_rate():.2f}\n"
+        f"kernel-level epoch-dispatch sweep "
+        f"(nrh={_EPOCH_NRH}, {_EPOCH_HAMMERS} hammer pairs):\n"
+        f"{epoch_lines}\n"
+        f"epoch-dispatch aggregate margin "
+        f"({'+'.join(_EPOCH_BATCHABLE)}): {epoch_margin:.2f}x")
     save_result("system_scaling", text)
     payload = {
         "speedup": speedup,
@@ -139,6 +279,13 @@ def bench_system_scaling(benchmark):
         "cache": cache.stats(),
         "series": {f"{m}@{v_}@{f}": v
                    for (m, v_, f), v in after.items()},
+        "epoch_kernel_margin": epoch_margin,
+        "epoch_kernel_margin_floor": _EPOCH_MARGIN_FLOOR,
+        "epoch_kernel_sweep": per_mechanism,
+        "epoch_kernel_batchable": list(_EPOCH_BATCHABLE),
+        "floors": {"speedup": _BATCHED_FLOOR,
+                   "array_speedup": _ARRAY_FLOOR,
+                   "epoch_kernel_margin": _EPOCH_MARGIN_FLOOR},
     }
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / "BENCH_system_scaling.json").write_text(
@@ -149,6 +296,9 @@ def bench_system_scaling(benchmark):
         f"(floor {_ARRAY_FLOOR:.0f}x)")
     assert array_s < after_s, (
         f"array phase ({array_s:.2f}s) slower than batched ({after_s:.2f}s)")
+    assert epoch_margin >= _EPOCH_MARGIN_FLOOR, (
+        f"epoch-dispatch kernel margin only {epoch_margin:.2f}x "
+        f"(floor {_EPOCH_MARGIN_FLOOR}x) over {_EPOCH_BATCHABLE}")
 
 
 def bench_fig_builders_kernel_parity(benchmark):

@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Re-check persisted benchmark floors from BENCH_system_scaling.json.
+
+The system-scaling bench asserts its floors in-process, but the asserts
+live and die with that pytest run; this script re-reads the persisted
+payload so CI (or a human, later) can verify the artifact that actually
+shipped.  The payload carries its own ``floors`` map — the check fails
+if a floor regresses, if a floored metric is missing, or if the array
+phase stopped being strictly faster than the batched phase.
+
+Usage::
+
+    python scripts/check_bench_floors.py [path/to/BENCH_system_scaling.json]
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+DEFAULT_PAYLOAD = (Path(__file__).resolve().parent.parent
+                   / "bench_results" / "BENCH_system_scaling.json")
+
+
+def check(payload: dict) -> list[str]:
+    """Return a list of human-readable floor violations (empty = pass)."""
+    problems = []
+    floors = payload.get("floors")
+    if not floors:
+        return ["payload carries no 'floors' map — bench too old or torn"]
+    for metric, floor in sorted(floors.items()):
+        value = payload.get(metric)
+        if value is None:
+            problems.append(f"{metric}: floored at {floor} but missing "
+                            "from the payload")
+        elif value < floor:
+            problems.append(f"{metric}: {value:.2f} below floor {floor}")
+    array_s, after_s = payload.get("array_s"), payload.get("after_s")
+    if array_s is not None and after_s is not None and array_s >= after_s:
+        problems.append(f"array phase ({array_s:.2f}s) not strictly faster "
+                        f"than batched ({after_s:.2f}s)")
+    return problems
+
+
+def main(argv: list[str]) -> int:
+    path = Path(argv[1]) if len(argv) > 1 else DEFAULT_PAYLOAD
+    if not path.is_file():
+        print(f"check_bench_floors: no payload at {path}", file=sys.stderr)
+        return 2
+    payload = json.loads(path.read_text())
+    problems = check(payload)
+    if problems:
+        for problem in problems:
+            print(f"check_bench_floors: {problem}", file=sys.stderr)
+        return 1
+    floors = payload["floors"]
+    summary = "  ".join(f"{metric}={payload[metric]:.2f}(>={floor})"
+                        for metric, floor in sorted(floors.items()))
+    print(f"check_bench_floors: ok  {summary}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -15,6 +15,11 @@ Stages and their kernels::
     sim       scalar          batched      array        (repro.sim.kernels)
     host      stepping        compiled     -            (repro.bender.compile)
 
+The sim stage's array tier additionally switches mitigation dispatch
+from per-activation calls to the epoch protocol
+(:meth:`repro.mitigations.base.MitigationMechanism.on_activation_epoch`)
+— a kernel-level change only; the policy still just names the kernel.
+
 ``kernel_policy`` selects per stage: ``"scalar"`` runs every oracle,
 ``"fast"`` every fast path, ``"array"`` the numpy structure-of-arrays tier
 (falling back to the fastest kernel on stages without one — the host

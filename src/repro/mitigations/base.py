@@ -1,24 +1,60 @@
 """Plugin interface between the memory controller and RowHammer mitigations.
 
 The controller calls :meth:`MitigationMechanism.on_activation` for every row
-activation it performs; the mechanism returns a (possibly empty) list of
+activation it performs; the mechanism returns a (possibly empty) sequence of
 actions — preventive refreshes, RFM commands, or metadata traffic — which
 the controller executes, asking the refresh-latency policy (PaCRAM or the
 nominal default) for the charge-restoration latency of every preventive
 refresh it schedules.
+
+Batch (epoch) dispatch
+----------------------
+
+The array simulation tier additionally drives mechanisms through a batch
+protocol so the dominant no-action path never enters Python per
+activation:
+
+* :meth:`MitigationMechanism.epoch_credit` returns how many upcoming
+  activations — of *any* addresses — are guaranteed to produce no actions
+  given the mechanism's current state (0 = no guarantee; conservative
+  answers only cost speed, never correctness).
+* The kernel buffers that many activations without calling the mechanism,
+  then hands the whole run to
+  :meth:`MitigationMechanism.on_activation_epoch` in one call; the next
+  (boundary) activation is processed through the ordinary scalar
+  :meth:`on_activation`, so every decision that *can* produce an action is
+  made by exactly the code the scalar oracle runs, in the same order, on
+  the same state and rng stream.
+
+The default :meth:`on_activation_epoch` replays the epoch through
+:meth:`on_activation` sequentially — bit-identical by construction — and
+is also what offline callers (e.g. the epoch-parity fuzzers) use as the
+reference.  Vectorized overrides must preserve the exact counter values,
+dict insertion orders, and rng consumption of the sequential replay.
 """
 
 from __future__ import annotations
 
 import abc
+from collections.abc import Sequence
 from dataclasses import dataclass
+from itertools import repeat
 
-from repro.errors import ConfigError
+from repro.errors import ConfigError, SimulationError
 
 #: Blast radius of 2: a preventive refresh covers the four rows within
 #: +/- 2 rows of the aggressor (§9.1, accounting for Half-Double).
 BLAST_RADIUS = 2
 BLAST_ROWS = 2 * BLAST_RADIUS
+
+#: Epoch size below which vectorized on_activation_epoch overrides update
+#: their counters with direct dict increments instead of the
+#: ``np.unique`` aggregation.  Measured crossover: the numpy round trip
+#: (two asarray calls, unique, stable argsort, tolist) costs ~15-25us
+#: regardless of epoch size, while direct increments run ~80ns each —
+#: aggregation only wins once epochs pass a couple hundred activations
+#: *and* keys repeat enough for the collapse to pay for itself.
+EPOCH_BULK_MIN = 192
 
 
 @dataclass(frozen=True)
@@ -75,6 +111,21 @@ class MitigationMechanism(abc.ABC):
     #: Extra per-activation bank-time cost (PRAC's extended row cycle for
     #: in-DRAM counter updates); zero for controller-side mechanisms.
     act_penalty_ns: float = 0.0
+    #: Whether :meth:`on_activation_epoch` needs the per-activation trace
+    #: columns.  Mechanisms whose epoch decisions depend only on the
+    #: activation *count* (NoMitigation, PARA's Bernoulli stream) set this
+    #: False so the kernel can skip buffering addresses entirely.
+    epoch_needs_trace: bool = True
+    #: Finer-grained column opt-outs, honored when ``epoch_needs_trace``
+    #: is True: a mechanism whose epoch update ignores row addresses
+    #: (bank-granular RFM) or activation times (all the table-based
+    #: counters) clears the matching flag, and the kernel skips buffering
+    #: that column — one fewer list append per activation on the hot
+    #: path.  Clearing a flag is a declaration that :meth:`on_activation`
+    #: never reads the corresponding argument, so the sequential-replay
+    #: fallback may substitute placeholders without changing behavior.
+    epoch_needs_rows: bool = True
+    epoch_needs_times: bool = True
     #: True for mechanisms that guarantee a bounded hammer count per victim
     #: (exact counters like Graphene).  Probabilistic mechanisms (PARA) leave
     #: this False so observers don't flag their expected statistical misses.
@@ -88,8 +139,63 @@ class MitigationMechanism(abc.ABC):
 
     @abc.abstractmethod
     def on_activation(self, flat_bank: int, row: int,
-                      now_ns: float) -> list[Action]:
+                      now_ns: float) -> Sequence[Action]:
         """Observe one row activation; return preventive actions to execute."""
+
+    def epoch_credit(self) -> int:
+        """Upcoming activations (any addresses) guaranteed action-free.
+
+        The array kernel buffers this many activations without calling
+        :meth:`on_activation`, then flushes them through
+        :meth:`on_activation_epoch` in one call and takes the *next*
+        activation through the scalar step.  Returning 0 (the default)
+        disables batching; under-promising is always safe.
+        """
+        return 0
+
+    def on_activation_epoch(
+        self, flat_banks: Sequence[int] | None, rows: Sequence[int] | None,
+        times: Sequence[float] | None, count: int | None = None,
+    ) -> tuple[tuple[int, ...], list[Action]]:
+        """Observe a run of activations in one call.
+
+        Returns ``(trigger_indices, actions)``: the epoch-relative indices
+        of activations that produced actions, and the concatenated actions
+        in activation order.  The base implementation replays the epoch
+        through :meth:`on_activation` sequentially, so it is bit-identical
+        to per-activation dispatch by construction.  Mechanisms that set
+        ``epoch_needs_trace = False`` are called with ``None`` columns and
+        an explicit ``count``; all other callers pass real columns (and
+        may omit ``count``, which then defaults to ``len(flat_banks)``).
+        """
+        if flat_banks is None:
+            raise SimulationError(
+                f"{type(self).__name__}.on_activation_epoch needs the "
+                "activation trace columns; a mechanism that declares "
+                "epoch_needs_trace=False must override it with a "
+                "count-only implementation")
+        if rows is None:
+            if self.epoch_needs_rows:
+                raise SimulationError(
+                    f"{type(self).__name__}.on_activation_epoch needs the "
+                    "row column (epoch_needs_rows is set)")
+            rows = repeat(0)
+        if times is None:
+            if self.epoch_needs_times:
+                raise SimulationError(
+                    f"{type(self).__name__}.on_activation_epoch needs the "
+                    "time column (epoch_needs_times is set)")
+            times = repeat(0.0)
+        triggers: list[int] = []
+        actions: list[Action] = []
+        on_activation = self.on_activation
+        for index, (flat_bank, row, now_ns) in enumerate(
+                zip(flat_banks, rows, times)):
+            acts = on_activation(flat_bank, row, now_ns)
+            if acts:
+                triggers.append(index)
+                actions.extend(acts)
+        return tuple(triggers), actions
 
     def on_refresh_window(self, now_ns: float) -> None:
         """Called once per refresh window (tREFW): reset windowed state."""
@@ -106,11 +212,24 @@ class NoMitigation(MitigationMechanism):
     """The paper's 'No mitigation' baseline configuration."""
 
     name = "None"
+    epoch_needs_trace = False
 
     def __init__(self, nrh: int = 1) -> None:
         super().__init__(nrh=max(nrh, 1))
 
     def on_activation(self, flat_bank: int, row: int,
-                      now_ns: float) -> list[Action]:
+                      now_ns: float) -> Sequence[Action]:
         self.counters.activations_observed += 1
         return []
+
+    def epoch_credit(self) -> int:
+        """Never acts: baseline runs batch whole refresh windows at once."""
+        return 1 << 30
+
+    def on_activation_epoch(
+        self, flat_banks: Sequence[int] | None, rows: Sequence[int] | None,
+        times: Sequence[float] | None, count: int | None = None,
+    ) -> tuple[tuple[int, ...], list[Action]]:
+        n = count if count is not None else len(flat_banks)
+        self.counters.activations_observed += n
+        return (), []

@@ -11,6 +11,8 @@ size grows as ``N_RH`` shrinks, reaching 10.38 mm^2 (4.45 % of a Xeon) at
 
 from __future__ import annotations
 
+from collections.abc import Sequence
+
 import math
 
 from repro.errors import ConfigError
@@ -75,7 +77,7 @@ class Graphene(MitigationMechanism):
         self._tables: dict[int, _BankTable] = {}
 
     def on_activation(self, flat_bank: int, row: int,
-                      now_ns: float) -> list[Action]:
+                      now_ns: float) -> Sequence[Action]:
         self.counters.activations_observed += 1
         table = self._tables.get(flat_bank)
         if table is None:

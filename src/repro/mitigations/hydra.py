@@ -13,6 +13,7 @@ accesses (§3).
 from __future__ import annotations
 
 from collections import OrderedDict, defaultdict
+from collections.abc import Sequence
 
 from repro.errors import ConfigError
 from repro.mitigations.base import (
@@ -55,7 +56,7 @@ class Hydra(MitigationMechanism):
         self._rct: dict[tuple[int, int], int] = {}
 
     def on_activation(self, flat_bank: int, row: int,
-                      now_ns: float) -> list[Action]:
+                      now_ns: float) -> Sequence[Action]:
         self.counters.activations_observed += 1
         group_key = (flat_bank, row // self.group_size)
         if self._gct[group_key] < self.group_threshold:

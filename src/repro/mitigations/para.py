@@ -16,6 +16,8 @@ as its failure-probability target.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
+
 import numpy as np
 
 from repro.mitigations.base import Action, MitigationMechanism, PreventiveRefresh
@@ -36,7 +38,7 @@ class PARA(MitigationMechanism):
         self._rng = np.random.default_rng(seed)
 
     def on_activation(self, flat_bank: int, row: int,
-                      now_ns: float) -> list[Action]:
+                      now_ns: float) -> Sequence[Action]:
         self.counters.activations_observed += 1
         if self._rng.random() >= self.probability:
             return []

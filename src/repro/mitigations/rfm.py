@@ -13,9 +13,17 @@ mitigation.
 from __future__ import annotations
 
 from collections import defaultdict
+from collections.abc import Sequence
+
+import numpy as np
 
 from repro.errors import ConfigError
-from repro.mitigations.base import Action, MitigationMechanism, RfmCommand
+from repro.mitigations.base import (
+    EPOCH_BULK_MIN,
+    Action,
+    MitigationMechanism,
+    RfmCommand,
+)
 
 #: RAAIMT as a fraction of N_RH.  With a blast radius of 2 and bank-granular
 #: counting, the threshold must stay well below N_RH so that no single row
@@ -27,6 +35,10 @@ class RFM(MitigationMechanism):
     """Per-bank rolling activation counting with refresh-management commands."""
 
     name = "RFM"
+    #: Bank-granular: the RAA counters never look at row addresses or
+    #: activation times, so the kernel need not buffer either column.
+    epoch_needs_rows = False
+    epoch_needs_times = False
 
     def __init__(self, nrh: int, *, raaimt: int | None = None) -> None:
         super().__init__(nrh)
@@ -34,20 +46,66 @@ class RFM(MitigationMechanism):
         if self.raaimt <= 0:
             raise ConfigError("RAAIMT must be positive")
         self._raa: dict[int, int] = defaultdict(int)
+        #: Largest RAA counter, maintained so ``epoch_credit`` is O(1):
+        #: ``raaimt - 1 - max`` activations cannot reach the threshold on
+        #: any bank.  Recomputed exactly after a trigger resets a counter.
+        self._raa_max = 0
 
     def on_activation(self, flat_bank: int, row: int,
-                      now_ns: float) -> list[Action]:
+                      now_ns: float) -> Sequence[Action]:
         self.counters.activations_observed += 1
-        self._raa[flat_bank] += 1
-        if self._raa[flat_bank] < self.raaimt:
+        raa = self._raa
+        count = raa[flat_bank] + 1
+        if count < self.raaimt:
+            raa[flat_bank] = count
+            if count > self._raa_max:
+                self._raa_max = count
             return []
-        self._raa[flat_bank] = 0
+        raa[flat_bank] = 0
+        self._raa_max = max(raa.values(), default=0)
         self.counters.triggers += 1
         return [RfmCommand(flat_bank)]
+
+    def epoch_credit(self) -> int:
+        credit = self.raaimt - 1 - self._raa_max
+        return credit if credit > 0 else 0
+
+    def on_activation_epoch(
+        self, flat_banks: Sequence[int] | None, rows: Sequence[int] | None,
+        times: Sequence[float] | None, count: int | None = None,
+    ) -> tuple[tuple[int, ...], list[Action]]:
+        n = count if count is not None else len(flat_banks)
+        if n > self.epoch_credit():
+            return super().on_activation_epoch(flat_banks, rows, times,
+                                               count)
+        self.counters.activations_observed += n
+        if n >= EPOCH_BULK_MIN:
+            # First-occurrence order, so the counter dict is literally the
+            # one the sequential replay would build (insertion order and
+            # all), not just value-equal.
+            uniq, first, occ = np.unique(np.asarray(flat_banks,
+                                                    dtype=np.int64),
+                                         return_index=True,
+                                         return_counts=True)
+            order = np.argsort(first, kind="stable")
+            pairs = zip(uniq[order].tolist(), occ[order].tolist())
+        else:
+            # Small epochs: direct increments, no aggregation round trip.
+            pairs = ((flat_bank, 1) for flat_bank in flat_banks)
+        raa = self._raa
+        maximum = self._raa_max
+        for flat_bank, occurrences in pairs:
+            value = raa[flat_bank] + occurrences
+            raa[flat_bank] = value
+            if value > maximum:
+                maximum = value
+        self._raa_max = maximum
+        return (), []
 
     def on_refresh_window(self, now_ns: float) -> None:
         """Periodic refresh resets the rolling accumulated counts."""
         self._raa.clear()
+        self._raa_max = 0
 
     def area_mm2(self, banks: int) -> float:
         """One RAA counter per bank: negligible (§3's 'almost zero')."""

@@ -2,26 +2,55 @@
 
 The batched kernel (:mod:`repro.sim.kernels`) already avoids per-request
 dataclass churn, but still pays for one ``__slots__`` record per request,
-attribute-keyed ``insort``/``bisect`` calls, and a method call into the
-bank/rank/channel timeline objects for every timing constraint.  This
-module keeps the whole simulation state columnar:
+attribute-keyed ``insort``/``bisect`` calls, one Python mitigation call per
+activation, and a method call into the bank/rank/channel timeline objects
+for every timing constraint.  This module keeps the whole simulation state
+columnar and dispatches the shared per-request costs in bulk:
 
 * :class:`ArrayCore` precomputes each request's frontend fetch time and
   retirement position once per trace (the frontend chain is independent
-  of load completions — window stalls gate *emission*, not the chain), so
-  the per-request pump work collapses to a window check, one ``max``, and
-  a direct ``insort`` into the shared queues;
+  of load completions — window stalls gate *emission*, not the chain);
+  the per-core emission cursors live in parallel lists inside
+  :func:`service_array`, so resuming a window-stalled core after a read
+  completion runs one small closure over flat lists instead of a method
+  with an attribute-bound prologue;
 * a queued request is one self-contained tuple ``(arrival, rid, flat,
   row, is_read, address, core, rank, channel, group)`` whose native
   ordering reproduces the scalar queue's arrival-then-FCFS order (rids
-  increase in enqueue order), so ``insort``/``bisect`` run without key
-  callables, the FR-FCFS scan indexes plain tuples, and the only
-  per-request column is the completion-time list the cores poll;
+  increase in enqueue order).  The FR-FCFS pick reads the two queue heads
+  directly and only falls back to a ``bisect`` scan when more than one
+  request has actually arrived — the common case (short queues, sparse
+  arrivals) never builds a probe tuple at all;
+* **epoch mitigation dispatch**: between action boundaries the kernel
+  asks the mechanism for its :meth:`~repro.mitigations.base.
+  MitigationMechanism.epoch_credit` — how many upcoming activations are
+  guaranteed action-free — buffers that many activations as plain column
+  appends (or a bare count for trace-free mechanisms like NoMitigation
+  and PARA), and flushes them through ``on_activation_epoch`` in one
+  call.  Only the boundary activation after the credit runs the scalar
+  ``on_activation`` step, so every decision that can produce an action is
+  made by the exact scalar code path, in order, on the same state and
+  rng stream;
 * bank / rank / channel timing state is held in flat lists, with the
   timeline methods (``faw_constraint``, ``cas_constraint``,
   ``reserve_bus``, ``occupy``) and the controller's mitigation-action and
   periodic-refresh executors inlined over them in the scalar expression
-  order, then flushed back to the controller objects on exit.
+  order, then flushed back to the controller objects on exit.  The tFAW
+  window check collapses to one comparison against the fourth-newest ACT
+  time (per-rank ACT starts are strictly increasing, so the bounded
+  recent-ACT list is always sorted and the in-window filter is implied
+  by the comparison itself);
+* per-request latency bookkeeping folds once per run through the
+  ``np.unique`` accumulator (value-histogram) pattern rather than one
+  ``LatencyAccumulator.add`` call per read.
+
+A note on numpy in the hot loop: the request queues are bounded by the
+instruction window and queue depth (tens of entries), and at that size
+C-level ``bisect``/``insort`` on native tuples beats ``np.searchsorted``
+(which pays ~1us of per-call machinery regardless of array size).  The
+numpy wins live where work amortizes: whole-trace decode and frontend
+prefix sums at core construction, per-epoch ``np.unique`` aggregation in
+the mitigation tables, and the end-of-run latency fold.
 
 Same contract as the batched kernel: the same operations in the same
 order on the same plugin objects, so results — stats, energies, latency
@@ -96,8 +125,10 @@ class ArrayCore:
     whole frontend timing chain is precomputed: ``fetch_done[i]`` depends
     only on the bubble counts (the window stall pauses *emission*, never
     the chain), so it is accumulated once — float-op order identical to
-    the per-pump accumulation — and :meth:`pump` just applies the issue
-    floor and insorts straight into the shared queues.
+    the per-pump accumulation.  Emission itself (window checks, issue
+    floor, insort into the shared queues) is run by
+    :func:`service_array`'s pump closure over flat per-core state; the
+    final cursor values are written back here so :meth:`stats` sees them.
     """
 
     __slots__ = ("core_id", "_clock_ghz", "_window", "_n", "_tails",
@@ -133,7 +164,7 @@ class ArrayCore:
         flat = bank + config.banks_per_group * (
             group + config.bank_groups * rank_channel)
         # The static tail of each queue entry — (flat, row, is_read,
-        # address, core, rank, channel, group) — zipped once, so the pump
+        # address, core, rank, channel, group) — zipped once, so emission
         # builds an entry with a single concat instead of eight column
         # reads.
         self._tails = list(zip(
@@ -167,86 +198,8 @@ class ArrayCore:
         self._last_completion_ns = 0.0
         #: Rid of the read this core is window-stalled on (-1 when the
         #: trace is drained).  A completion of any other rid cannot
-        #: unblock emission, so the drain loop skips the pump call.
+        #: unblock emission, so the drain loop skips the pump entirely.
         self._stall_rid = -1
-
-    def pump(self) -> int:
-        """Emit every request whose issue time is now determined.
-
-        Emitted requests go straight into the shared queues (the per-core
-        emission order is the enqueue order, exactly as when the scalar
-        core returns a batch that is enqueued in order).  Returns how many
-        requests were emitted.
-        """
-        i = self._index
-        n = self._n
-        if i >= n:
-            return 0
-        inflight = self._inflight
-        shared = self._shared
-        completion = shared.completion
-        positions = self._positions
-        if inflight:
-            # Cheap pre-check: after any pump, the core is either drained
-            # or window-stalled on its oldest read — so most pumps find
-            # that read still in flight and can skip the full prologue.
-            head_position, head_rid = inflight[0]
-            if (positions[i] - head_position >= self._window
-                    and completion[head_rid] < 0.0):
-                return 0
-        read_queue = shared.read_queue
-        write_queue = shared.write_queue
-        writes_by_addr = shared.writes_by_addr
-        fetch_done = self._fetch_done
-        window = self._window
-        floor = self._issue_floor_ns
-        last_completion = self._last_completion_ns
-        tails = self._tails
-        emitted = 0
-        stall = -1
-        while i < n:
-            position = positions[i]
-            if inflight:
-                head_position, head_rid = inflight[0]
-                if position - head_position >= window:
-                    done = completion[head_rid]
-                    if done < 0.0:
-                        stall = head_rid
-                        break  # stalled: resume after the head completes
-                    if done > floor:
-                        floor = done
-                    inflight.popleft()
-                    if done > last_completion:
-                        last_completion = done
-                    continue
-            done = fetch_done[i]
-            arrival = done if done > floor else floor
-            rid = len(completion)
-            completion.append(-1.0)
-            tail = tails[i]
-            entry = (arrival, rid) + tail
-            if tail[2]:  # is_read
-                inflight.append((position, rid))
-                insort_right(read_queue, entry)
-            else:
-                insort_right(write_queue, entry)
-                address = tail[3]
-                pending = writes_by_addr.get(address)
-                if pending is None:
-                    writes_by_addr[address] = [(arrival, rid)]
-                else:
-                    pending.append((arrival, rid))
-            emitted += 1
-            i += 1
-        self._index = i
-        self._issue_floor_ns = floor
-        self._last_completion_ns = last_completion
-        self._stall_rid = stall
-        return emitted
-
-    def note_completion(self, completion_ns: float) -> None:
-        if completion_ns > self._last_completion_ns:
-            self._last_completion_ns = completion_ns
 
     def finished(self) -> bool:
         if self._index < self._n:
@@ -282,9 +235,10 @@ def service_array(system: "MemorySystem", cores: list[ArrayCore],
 
     Mirrors :func:`repro.sim.kernels.service_batch` — itself a mirror of
     ``MemorySystem._run_scalar`` + ``MemoryController.service_one`` — with
-    the timeline objects' state unpacked into flat lists and every timing
-    method inlined in its exact expression order.  All state is flushed
-    back to the controller objects before returning.
+    the timeline objects' state unpacked into flat lists, every timing
+    method inlined in its exact expression order, and mitigation calls
+    batched into credit-guaranteed epochs.  All state is flushed back to
+    the controller objects before returning.
     """
     ctrl = system.controller
     config = system.config
@@ -305,6 +259,12 @@ def service_array(system: "MemorySystem", cores: list[ArrayCore],
     observer = ctrl.observer
     mitigation = ctrl.mitigation
     on_activation = mitigation.on_activation
+    on_activation_epoch = mitigation.on_activation_epoch
+    epoch_credit = mitigation.epoch_credit
+    on_refresh_window = mitigation.on_refresh_window
+    epoch_trace = mitigation.epoch_needs_trace
+    epoch_rows_on = epoch_trace and mitigation.epoch_needs_rows
+    epoch_times_on = epoch_trace and mitigation.epoch_needs_times
     act_penalty = mitigation.act_penalty_ns
     policy = ctrl.policy
     preventive_tras_ns = policy.preventive_tras_ns
@@ -362,135 +322,254 @@ def service_array(system: "MemorySystem", cores: list[ArrayCore],
     #: per-read ``LatencyAccumulator.add`` calls would produce, and
     #: ``summary()`` sorts its items so insertion order is immaterial.
     lat_values: list[float] = []
+    lat_append = lat_values.append
 
     read_queue = shared.read_queue
     write_queue = shared.write_queue
     writes_by_addr = shared.writes_by_addr
     completion_c = shared.completion
 
-    for core in cores:
-        core.pump()
+    # --- per-core emission state, SoA ---------------------------------
+    # All cursors live in parallel lists so the pump closure below binds
+    # everything it touches as default arguments (true locals — no cell
+    # lookups, no per-call attribute prologue).  Final values are written
+    # back to the ArrayCore objects after the drain.
+    n_cores = len(cores)
+    core_index = [c._index for c in cores]
+    core_n = [c._n for c in cores]
+    core_floor = [c._issue_floor_ns for c in cores]
+    core_lastc = [c._last_completion_ns for c in cores]
+    core_stall = [c._stall_rid for c in cores]
+    core_inflight = [c._inflight for c in cores]
+    core_positions = [c._positions for c in cores]
+    core_fetch = [c._fetch_done for c in cores]
+    core_tails = [c._tails for c in cores]
+    window = config.instruction_window
+
+    def _pump_core(c, *, core_index=core_index, core_n=core_n,
+                   core_floor=core_floor, core_lastc=core_lastc,
+                   core_stall=core_stall, core_inflight=core_inflight,
+                   core_positions=core_positions, core_fetch=core_fetch,
+                   core_tails=core_tails, completion=completion_c,
+                   read_queue=read_queue, write_queue=write_queue,
+                   writes_by_addr=writes_by_addr, window=window,
+                   insort_right=insort_right):
+        """Emit core ``c``'s requests until it stalls or drains.
+
+        Identical walk to the scalar core's pump: requests whose issue
+        time is determined go straight into the shared queues in emission
+        order.  Returns how many requests were emitted.  Only the initial
+        fill and the idle re-pump call this; the completion path runs the
+        same walk inlined on the drain loop's own locals.
+        """
+        i = core_index[c]
+        n = core_n[c]
+        if i >= n:
+            return 0
+        inflight = core_inflight[c]
+        positions = core_positions[c]
+        fetch_done = core_fetch[c]
+        tails = core_tails[c]
+        floor = core_floor[c]
+        last_completion = core_lastc[c]
+        emitted = 0
+        stall = -1
+        while i < n:
+            position = positions[i]
+            if inflight:
+                head_position, head_rid = inflight[0]
+                if position - head_position >= window:
+                    done = completion[head_rid]
+                    if done < 0.0:
+                        stall = head_rid
+                        break  # stalled: resume after the head completes
+                    if done > floor:
+                        floor = done
+                    inflight.popleft()
+                    if done > last_completion:
+                        last_completion = done
+                    continue
+            done = fetch_done[i]
+            arrival = done if done > floor else floor
+            rid = len(completion)
+            completion.append(-1.0)
+            tail = tails[i]
+            entry = (arrival, rid) + tail
+            if tail[2]:  # is_read
+                inflight.append((position, rid))
+                insort_right(read_queue, entry)
+            else:
+                insort_right(write_queue, entry)
+                address = tail[3]
+                pending = writes_by_addr.get(address)
+                if pending is None:
+                    writes_by_addr[address] = [(arrival, rid)]
+                else:
+                    pending.append((arrival, rid))
+            emitted += 1
+            i += 1
+        core_index[c] = i
+        core_floor[c] = floor
+        core_lastc[c] = last_completion
+        core_stall[c] = stall
+        return emitted
+
+    def _apply_refresh(now, periodic_nj, stat_periodic, *,
+                       rank_next_ref=rank_next_ref, policy=policy,
+                       observer=observer, tRFC=tRFC, tRAS=tRAS,
+                       tREFI=tREFI, rows_per_ref=rows_per_ref,
+                       banks_per_rank=banks_per_rank,
+                       bank_ready=bank_ready, bank_open=bank_open,
+                       bank_refresh_busy=bank_refresh_busy):
+        """Inlined MemoryController._apply_periodic_refresh (cold path)."""
+        for ri in range(len(rank_next_ref)):
+            while rank_next_ref[ri] <= now:
+                start = rank_next_ref[ri]
+                scale = policy.periodic_refresh_scale()
+                trfc = tRFC * scale
+                if observer is not None:
+                    observer.on_command(RefCommand(ri, start, trfc))
+                ref_tras = tRAS * scale
+                if ref_tras <= 0:
+                    raise SimulationError(
+                        "non-positive tRAS in energy model")
+                ref_e = rows_per_ref * (E_ACT_BASE_NJ
+                                        + E_RESTORE_PER_NS * ref_tras)
+                lo = ri * banks_per_rank
+                for fb in range(lo, lo + banks_per_rank):
+                    ready = bank_ready[fb]
+                    busy_from = ready if ready > start else start
+                    bank_ready[fb] = busy_from + trfc
+                    bank_refresh_busy[fb] += trfc
+                    bank_open[fb] = None
+                    periodic_nj += ref_e
+                stat_periodic += 1
+                rank_next_ref[ri] += tREFI
+        return min(rank_next_ref), periodic_nj, stat_periodic
+
+    # --- mitigation epoch buffers -------------------------------------
+    # While the mechanism's credit lasts, activations are buffered here
+    # (plain appends; a bare count when the mechanism is trace-free) and
+    # flushed through on_activation_epoch in one call at the boundary.
+    # Columns the mechanism declared it never reads (epoch_needs_rows /
+    # epoch_needs_times) are not buffered at all — one fewer append per
+    # activation — and flush as None.
+    epoch_banks: list[int] = []
+    epoch_rows: list[int] = []
+    epoch_times: list[float] = []
+    eb_append = epoch_banks.append
+    er_append = epoch_rows.append
+    et_append = epoch_times.append
+
+    def _flush_epoch(n, *, on_activation_epoch=on_activation_epoch,
+                     epoch_trace=epoch_trace, epoch_banks=epoch_banks,
+                     epoch_rows=epoch_rows, epoch_times=epoch_times,
+                     epoch_rows_on=epoch_rows_on,
+                     epoch_times_on=epoch_times_on):
+        """Flush ``n`` buffered activations through the epoch API.
+
+        The buffered run is inside the mechanism's credited action-free
+        window, so a trigger here means the mechanism over-promised —
+        that is a contract violation, not a recoverable state.
+        """
+        if epoch_trace:
+            triggers, actions = on_activation_epoch(
+                epoch_banks,
+                epoch_rows if epoch_rows_on else None,
+                epoch_times if epoch_times_on else None)
+            epoch_banks.clear()
+            epoch_rows.clear()
+            epoch_times.clear()
+        else:
+            triggers, actions = on_activation_epoch(None, None, None,
+                                                    count=n)
+        if triggers or actions:
+            raise SimulationError(
+                f"{type(mitigation).__name__} produced actions inside a "
+                "credit-guaranteed epoch (epoch_credit over-promised)")
+
+    epoch_left = epoch_credit()
+    epoch_n = 0
+
+    for c in range(n_cores):
+        _pump_core(c)
 
     stall_guard = 0
+    fast_entry = None
     while True:
-        if now >= next_refresh:
-            # Inlined MemoryController._apply_periodic_refresh.
-            for ri in range(len(rank_next_ref)):
-                while rank_next_ref[ri] <= now:
-                    start = rank_next_ref[ri]
-                    scale = policy.periodic_refresh_scale()
-                    trfc = tRFC * scale
-                    if observer is not None:
-                        observer.on_command(RefCommand(ri, start, trfc))
-                    ref_tras = tRAS * scale
-                    if ref_tras <= 0:
-                        raise SimulationError(
-                            "non-positive tRAS in energy model")
-                    ref_e = rows_per_ref * (E_ACT_BASE_NJ
-                                            + E_RESTORE_PER_NS * ref_tras)
-                    lo = ri * banks_per_rank
-                    for fb in range(lo, lo + banks_per_rank):
-                        ready = bank_ready[fb]
-                        busy_from = ready if ready > start else start
-                        bank_ready[fb] = busy_from + trfc
-                        bank_refresh_busy[fb] += trfc
-                        bank_open[fb] = None
-                        periodic_nj += ref_e
-                    stat_periodic += 1
-                    rank_next_ref[ri] += tREFI
-            next_refresh = min(rank_next_ref)
-        # --- arrival gate ---------------------------------------------
-        # Nothing is serviceable before the earliest queued arrival, so
-        # jump straight there off the O(1) queue heads — the batched
-        # kernel's empty-bisect advance pass disappears.  Refresh is
-        # re-checked after the jump (the scalar loop applies refreshes
-        # due at the pre-advance time first; the duplicated check keeps
-        # that event order).
-        if read_queue:
-            next_arrival = read_queue[0][0]
-            if write_queue:
-                head = write_queue[0][0]
-                if head < next_arrival:
-                    next_arrival = head
-        elif write_queue:
-            next_arrival = write_queue[0][0]
+        if fast_entry is not None:
+            # Pre-picked by the bottom-of-loop fast path: the queues held
+            # exactly this one (read) entry, no refresh falls before its
+            # service time, and ``now`` has already been advanced -- the
+            # gate/watermark/pick stages below would all be no-ops.
+            entry = fast_entry
+            fast_entry = None
         else:
-            if all(core.finished() for core in cores):
-                break
-            produced = 0
-            for core in cores:
-                produced += core.pump()
-            stall_guard += 1
-            if produced == 0 and stall_guard > 2:
-                raise SimulationError(
-                    "deadlock: cores unfinished but no requests pending")
-            continue
-        if next_arrival > now:
-            now = next_arrival
             if now >= next_refresh:
-                # Inlined MemoryController._apply_periodic_refresh (same
-                # block as the loop top, at the post-advance time).
-                for ri in range(len(rank_next_ref)):
-                    while rank_next_ref[ri] <= now:
-                        start = rank_next_ref[ri]
-                        scale = policy.periodic_refresh_scale()
-                        trfc = tRFC * scale
-                        if observer is not None:
-                            observer.on_command(RefCommand(ri, start, trfc))
-                        ref_tras = tRAS * scale
-                        if ref_tras <= 0:
-                            raise SimulationError(
-                                "non-positive tRAS in energy model")
-                        ref_e = rows_per_ref * (E_ACT_BASE_NJ
-                                                + E_RESTORE_PER_NS * ref_tras)
-                        lo = ri * banks_per_rank
-                        for fb in range(lo, lo + banks_per_rank):
-                            ready = bank_ready[fb]
-                            busy_from = ready if ready > start else start
-                            bank_ready[fb] = busy_from + trfc
-                            bank_refresh_busy[fb] += trfc
-                            bank_open[fb] = None
-                            periodic_nj += ref_e
-                        stat_periodic += 1
-                        rank_next_ref[ri] += tREFI
-                next_refresh = min(rank_next_ref)
-        wlen = len(write_queue)
-        if wlen >= high_mark:
-            draining = True
-        elif wlen <= low_mark:
-            draining = False
-        # --- pick (FR-FCFS over the arrived prefix) -------------------
-        # Probe after every entry with arrival <= now: rids are finite, so
-        # (now, inf) sorts after every (now, rid, ...) tuple.  At least
-        # one entry has arrived (the gate above), so exactly one bisect
-        # runs in the common case and the fallback never probes an
-        # un-arrived queue twice.
-        probe = (now, _INF)
-        if draining and wlen:
-            queue = write_queue
-            end = bisect_right(write_queue, probe)
-            if not end:
-                queue = read_queue
-                end = bisect_right(read_queue, probe)
-        else:
-            queue = read_queue
-            end = (bisect_right(read_queue, probe)
-                   if read_queue else 0)
-            if not end:
-                queue = write_queue
-                end = bisect_right(write_queue, probe)
-        if end > 1:
-            for pick in range(end):
-                entry = queue[pick]
-                if bank_open[entry[2]] == entry[3]:
-                    break
+                next_refresh, periodic_nj, stat_periodic = _apply_refresh(
+                    now, periodic_nj, stat_periodic)
+            # --- arrival gate -----------------------------------------
+            # Nothing is serviceable before the earliest queued arrival,
+            # so jump straight there off the O(1) queue heads.  Refresh
+            # is re-checked after the jump (the scalar loop applies
+            # refreshes due at the pre-advance time first; the duplicated
+            # check keeps that event order).
+            rhead = read_queue[0][0] if read_queue else _INF
+            whead = write_queue[0][0] if write_queue else _INF
+            if rhead <= whead:
+                if rhead == _INF:
+                    # Both queues empty: every emitted request is
+                    # serviced (its completion is set), so a core is
+                    # finished iff its cursor reached the end of its
+                    # trace.
+                    if all(core_index[c] >= core_n[c]
+                           for c in range(n_cores)):
+                        break
+                    produced = 0
+                    for c in range(n_cores):
+                        produced += _pump_core(c)
+                    stall_guard += 1
+                    if produced == 0 and stall_guard > 2:
+                        raise SimulationError(
+                            "deadlock: cores unfinished but no requests "
+                            "pending")
+                    continue
+                next_arrival = rhead
             else:
-                pick = 0
-                entry = queue[0]
-            del queue[pick]
-        else:
-            entry = queue[0]
-            del queue[0]
+                next_arrival = whead
+            if next_arrival > now:
+                now = next_arrival
+                if now >= next_refresh:
+                    next_refresh, periodic_nj, stat_periodic = (
+                        _apply_refresh(now, periodic_nj, stat_periodic))
+            wlen = len(write_queue)
+            if wlen >= high_mark:
+                draining = True
+            elif wlen <= low_mark:
+                draining = False
+            # --- pick (FR-FCFS over the arrived prefix) ---------------
+            # The gate guarantees at least one head has arrived.  Queue
+            # preference first (write drain, else reads), then a row-hit
+            # scan over the arrived prefix -- but only when a second
+            # entry has actually arrived; the common case services the
+            # head directly without a probe tuple or bisect.
+            if draining and whead <= now:
+                queue = write_queue
+            elif rhead <= now:
+                queue = read_queue
+            else:
+                queue = write_queue
+            if len(queue) > 1 and queue[1][0] <= now:
+                end = bisect_right(queue, (now, _INF))
+                for pick in range(end):
+                    entry = queue[pick]
+                    if bank_open[entry[2]] == entry[3]:
+                        break
+                else:
+                    pick = 0
+                entry = queue.pop(pick)
+            else:
+                entry = queue.pop(0)
         (arrival, rid, flat, row, serviced_read, address,
          core_i, ri, ci, group) = entry
         if serviced_read:
@@ -504,9 +583,9 @@ def service_array(system: "MemorySystem", cores: list[ArrayCore],
                             forwarded = True
                             break
             if forwarded:
-                completion = ((now if now > arrival else arrival)
-                              + forward_latency)
-                completion_c[rid] = completion
+                data_done = ((now if now > arrival else arrival)
+                             + forward_latency)
+                completion_c[rid] = data_done
                 stat_reads += 1
                 stat_forwarded += 1
         else:
@@ -532,13 +611,20 @@ def service_array(system: "MemorySystem", cores: list[ArrayCore],
                     if earliest > pre_start:
                         pre_start = earliest
                     act_start = pre_start + tRP
-                # Inlined RankTimeline.faw_constraint + record_act.
+                # Inlined RankTimeline.faw_constraint + record_act.  ACT
+                # starts per rank are strictly increasing (the next ACT
+                # begins after the previous CAS), so the recent-ACT list
+                # is always sorted and the constraint reduces to the
+                # fourth-newest entry: it binds iff acts[-4] + tFAW >
+                # act_start, which is exactly "at least four ACTs within
+                # the window" — entries older than the window can never
+                # satisfy the comparison.  The list keeps the newest <= 8
+                # entries (a superset suffix of the scalar's in-window
+                # trim with the identical tail), constraint-equivalent
+                # for every future query.
                 acts = rank_acts[ri]
-                cutoff = act_start - tFAW
-                recent = [t for t in acts if t > cutoff]
-                rank_acts[ri] = acts = recent[-8:]
-                if len(recent) >= 4:
-                    faw = recent[-4] + tFAW
+                if len(acts) >= 4:
+                    faw = acts[-4] + tFAW
                     if faw > act_start:
                         act_start = faw
                 acts.append(act_start)
@@ -554,107 +640,136 @@ def service_array(system: "MemorySystem", cores: list[ArrayCore],
                 stat_acts += 1
                 activation_nj += act_e
                 cas_start = act_start + tRCD
-                # Inlined MemoryController._run_mitigation + action
-                # executors, over the columnar bank state.
+                # Inlined MemoryController._run_mitigation, batched into
+                # credit-guaranteed epochs: buffered activations cannot
+                # produce actions, so only the boundary step below runs
+                # Python mitigation code.
                 if act_start >= next_window:
-                    mitigation.on_refresh_window(act_start)
+                    if epoch_n:
+                        _flush_epoch(epoch_n)
+                        epoch_n = 0
+                    on_refresh_window(act_start)
                     next_window += tREFW
-                actions = on_activation(flat, row, act_start)
-                if actions:
-                    for action in actions:
-                        if isinstance(action, PreventiveRefresh):
-                            fb = action.flat_bank
-                            aggressor = action.aggressor_row
-                            victims = [aggressor + d
-                                       for d in action.victim_offsets
-                                       if 0 <= aggressor + d < rows_per_bank]
-                            if observer is not None:
-                                observer.on_command(MitigationRequest(
-                                    fb, aggressor, "refresh", tuple(victims),
-                                    len(victims), act_start))
-                            ready = bank_ready[fb]
-                            start = ready if ready > now else now
-                            duration = 0.0
-                            for victim in victims:
-                                tras_ns, full = preventive_tras_ns(
-                                    fb, victim, start)
+                    epoch_left = epoch_credit()
+                if epoch_left:
+                    epoch_left -= 1
+                    epoch_n += 1
+                    if epoch_trace:
+                        eb_append(flat)
+                        if epoch_rows_on:
+                            er_append(row)
+                        if epoch_times_on:
+                            et_append(act_start)
+                else:
+                    if epoch_n:
+                        _flush_epoch(epoch_n)
+                        epoch_n = 0
+                    actions = on_activation(flat, row, act_start)
+                    epoch_left = epoch_credit()
+                    if actions:
+                        for action in actions:
+                            if isinstance(action, PreventiveRefresh):
+                                fb = action.flat_bank
+                                aggressor = action.aggressor_row
+                                victims = [
+                                    aggressor + d
+                                    for d in action.victim_offsets
+                                    if 0 <= aggressor + d < rows_per_bank]
                                 if observer is not None:
-                                    observer.on_command(PreventiveRefreshCmd(
-                                        fb, victim, start + duration, tras_ns,
-                                        full))
-                                duration += tras_ns + tRP
-                                if tras_ns <= 0:
-                                    raise SimulationError(
-                                        "non-positive tRAS in energy model")
-                                preventive_nj += 1 * (
-                                    E_ACT_BASE_NJ
-                                    + E_RESTORE_PER_NS * tras_ns)
-                                stat_prev_rows += 1
-                                if full:
-                                    stat_prev_full += 1
-                                else:
-                                    stat_prev_partial += 1
-                            bank_ready[fb] = start + duration
-                            bank_prev_busy[fb] += duration
-                            bank_open[fb] = None
-                        elif isinstance(action, RfmCommand):
-                            fb = action.flat_bank
-                            if observer is not None:
-                                observer.on_command(MitigationRequest(
-                                    fb, -1, "rfm", (), action.victim_rows,
-                                    act_start))
-                            ready = bank_ready[fb]
-                            start = ready if ready > now else now
-                            duration = 0.0
-                            for _ in range(action.victim_rows):
-                                tras_ns, full = preventive_tras_ns(
-                                    fb, -1, start)
+                                    observer.on_command(MitigationRequest(
+                                        fb, aggressor, "refresh",
+                                        tuple(victims), len(victims),
+                                        act_start))
+                                ready = bank_ready[fb]
+                                start = ready if ready > now else now
+                                duration = 0.0
+                                for victim in victims:
+                                    tras_ns, full = preventive_tras_ns(
+                                        fb, victim, start)
+                                    if observer is not None:
+                                        observer.on_command(
+                                            PreventiveRefreshCmd(
+                                                fb, victim,
+                                                start + duration, tras_ns,
+                                                full))
+                                    duration += tras_ns + tRP
+                                    if tras_ns <= 0:
+                                        raise SimulationError(
+                                            "non-positive tRAS in energy "
+                                            "model")
+                                    preventive_nj += 1 * (
+                                        E_ACT_BASE_NJ
+                                        + E_RESTORE_PER_NS * tras_ns)
+                                    stat_prev_rows += 1
+                                    if full:
+                                        stat_prev_full += 1
+                                    else:
+                                        stat_prev_partial += 1
+                                bank_ready[fb] = start + duration
+                                bank_prev_busy[fb] += duration
+                                bank_open[fb] = None
+                            elif isinstance(action, RfmCommand):
+                                fb = action.flat_bank
                                 if observer is not None:
-                                    observer.on_command(PreventiveRefreshCmd(
-                                        fb, -1, start + duration, tras_ns,
-                                        full))
-                                duration += tras_ns + tRP
-                                if tras_ns <= 0:
-                                    raise SimulationError(
-                                        "non-positive tRAS in energy model")
-                                preventive_nj += 1 * (
-                                    E_ACT_BASE_NJ
-                                    + E_RESTORE_PER_NS * tras_ns)
-                                stat_prev_rows += 1
-                                if full:
-                                    stat_prev_full += 1
-                                else:
-                                    stat_prev_partial += 1
-                            stat_rfm += 1
-                            if action.is_backoff:
-                                stat_backoff += 1
-                            bank_ready[fb] = start + duration
-                            bank_prev_busy[fb] += duration
-                            bank_open[fb] = None
-                        elif isinstance(action, MetadataAccess):
-                            fb = action.flat_bank
-                            ready = bank_ready[fb]
-                            start = ready if ready > now else now
-                            total = ((action.reads + action.writes)
-                                     * metadata_per_access)
-                            if observer is not None:
-                                observer.on_command(MetadataCmd(
-                                    fb, start, total, action.reads,
-                                    action.writes))
-                            bank_ready[fb] = start + total
-                            bank_open[fb] = None
-                            stat_meta_reads += action.reads
-                            stat_meta_writes += action.writes
-                            metadata_nj += (action.reads * E_READ_NJ
-                                            + action.writes * E_WRITE_NJ)
-                        else:  # pragma: no cover - exhaustive over Action
-                            raise SimulationError(
-                                f"unknown mitigation action {action!r}")
-                    # Mitigation actions may have pushed the bank's ready
-                    # time.
-                    ready = bank_ready[flat]
-                    if ready > cas_start:
-                        cas_start = ready
+                                    observer.on_command(MitigationRequest(
+                                        fb, -1, "rfm", (),
+                                        action.victim_rows, act_start))
+                                ready = bank_ready[fb]
+                                start = ready if ready > now else now
+                                duration = 0.0
+                                for _ in range(action.victim_rows):
+                                    tras_ns, full = preventive_tras_ns(
+                                        fb, -1, start)
+                                    if observer is not None:
+                                        observer.on_command(
+                                            PreventiveRefreshCmd(
+                                                fb, -1, start + duration,
+                                                tras_ns, full))
+                                    duration += tras_ns + tRP
+                                    if tras_ns <= 0:
+                                        raise SimulationError(
+                                            "non-positive tRAS in energy "
+                                            "model")
+                                    preventive_nj += 1 * (
+                                        E_ACT_BASE_NJ
+                                        + E_RESTORE_PER_NS * tras_ns)
+                                    stat_prev_rows += 1
+                                    if full:
+                                        stat_prev_full += 1
+                                    else:
+                                        stat_prev_partial += 1
+                                stat_rfm += 1
+                                if action.is_backoff:
+                                    stat_backoff += 1
+                                bank_ready[fb] = start + duration
+                                bank_prev_busy[fb] += duration
+                                bank_open[fb] = None
+                            elif isinstance(action, MetadataAccess):
+                                fb = action.flat_bank
+                                ready = bank_ready[fb]
+                                start = ready if ready > now else now
+                                total = ((action.reads + action.writes)
+                                         * metadata_per_access)
+                                if observer is not None:
+                                    observer.on_command(MetadataCmd(
+                                        fb, start, total, action.reads,
+                                        action.writes))
+                                bank_ready[fb] = start + total
+                                bank_open[fb] = None
+                                stat_meta_reads += action.reads
+                                stat_meta_writes += action.writes
+                                metadata_nj += (
+                                    action.reads * E_READ_NJ
+                                    + action.writes * E_WRITE_NJ)
+                            else:  # pragma: no cover - exhaustive
+                                raise SimulationError(
+                                    f"unknown mitigation action "
+                                    f"{action!r}")
+                        # Mitigation actions may have pushed the bank's
+                        # ready time.
+                        ready = bank_ready[flat]
+                        if ready > cas_start:
+                            cas_start = ready
             # Inlined ChannelTimeline.cas_constraint.
             spacing = tCCD_L if group == chan_last_group[ci] else tCCD
             constrained = chan_last_cas[ci] + spacing
@@ -687,13 +802,88 @@ def service_array(system: "MemorySystem", cores: list[ArrayCore],
                 now = cas_start
         stall_guard = 0
         if serviced_read:
-            done = completion_c[rid]
-            lat_values.append(done - arrival)
-            core = cores[core_i]
-            if done > core._last_completion_ns:
-                core._last_completion_ns = done
-            if rid == core._stall_rid:
-                core.pump()
+            lat_append(data_done - arrival)
+            if data_done > core_lastc[core_i]:
+                core_lastc[core_i] = data_done
+            if rid == core_stall[core_i]:
+                # --- resume the window-stalled core (pump, inlined) ---
+                # Same walk as _pump_core, on the loop's own locals: the
+                # serviced read was the core's window stall, so this runs
+                # once per stalled completion — the hottest pump site.
+                i = core_index[core_i]
+                n = core_n[core_i]
+                inflight = core_inflight[core_i]
+                positions = core_positions[core_i]
+                fetch_done = core_fetch[core_i]
+                tails = core_tails[core_i]
+                floor = core_floor[core_i]
+                last_completion = core_lastc[core_i]
+                stall = -1
+                while i < n:
+                    position = positions[i]
+                    if inflight:
+                        head_position, head_rid = inflight[0]
+                        if position - head_position >= window:
+                            done = completion_c[head_rid]
+                            if done < 0.0:
+                                stall = head_rid
+                                break
+                            if done > floor:
+                                floor = done
+                            inflight.popleft()
+                            if done > last_completion:
+                                last_completion = done
+                            continue
+                    done = fetch_done[i]
+                    emit_arrival = done if done > floor else floor
+                    emit_rid = len(completion_c)
+                    completion_c.append(-1.0)
+                    tail = tails[i]
+                    emit_entry = (emit_arrival, emit_rid) + tail
+                    if tail[2]:  # is_read
+                        inflight.append((position, emit_rid))
+                        # Per-core arrivals are nondecreasing, so with
+                        # one producer the common case extends the tail;
+                        # insort only when another core's entry sits
+                        # behind this arrival.
+                        if not read_queue or emit_entry >= read_queue[-1]:
+                            read_queue.append(emit_entry)
+                        else:
+                            insort_right(read_queue, emit_entry)
+                    else:
+                        insort_right(write_queue, emit_entry)
+                        emit_addr = tail[3]
+                        pending = writes_by_addr.get(emit_addr)
+                        if pending is None:
+                            writes_by_addr[emit_addr] = [
+                                (emit_arrival, emit_rid)]
+                        else:
+                            pending.append((emit_arrival, emit_rid))
+                    i += 1
+                core_index[core_i] = i
+                core_floor[core_i] = floor
+                core_lastc[core_i] = last_completion
+                core_stall[core_i] = stall
+        # --- fast-path pre-pick ---------------------------------------
+        # Window-serialized cores leave exactly one read queued after the
+        # pump; when no write is pending and no refresh falls before its
+        # service time, the next iteration's gate, watermark, and FR-FCFS
+        # scan are all no-ops — pre-pick the entry and skip them.
+        if len(read_queue) == 1 and not write_queue:
+            head = read_queue[0]
+            jump = head[0]
+            if jump < now:
+                jump = now
+            if jump < next_refresh:
+                now = jump
+                del read_queue[0]
+                draining = False
+                fast_entry = head
+
+    # Any trailing credit-covered activations still need to reach the
+    # mechanism before its counters are read.
+    if epoch_n:
+        _flush_epoch(epoch_n)
 
     # --- flush columnar state back to the shared objects --------------
     for fb, bank in enumerate(ctrl.banks):
@@ -709,6 +899,11 @@ def service_array(system: "MemorySystem", cores: list[ArrayCore],
         channel.bus_free_ns = chan_bus_free[ci]
         channel.last_cas_ns = chan_last_cas[ci]
         channel.last_cas_group = chan_last_group[ci]
+    for c, core in enumerate(cores):
+        core._index = core_index[c]
+        core._issue_floor_ns = core_floor[c]
+        core._last_completion_ns = core_lastc[c]
+        core._stall_rid = core_stall[c]
     stats.reads = stat_reads
     stats.writes = stat_writes
     stats.forwarded_reads = stat_forwarded

@@ -24,6 +24,14 @@ observer — through the same operations in the same order, so results
 The scalar loop remains the parity oracle, exactly like the scalar device
 kernel of :mod:`repro.dram.kernels` (PR 3); ``--check-protocol`` runs
 force it.
+
+This tier still dispatches the mitigation per activation — one plugin
+call per ACT — which is what makes it the reference point for the epoch
+dispatch of :mod:`repro.sim.arraykernel`: `bench_system_scaling` times
+:func:`service_batch` against ``service_array`` on a mitigation-heavy
+attack and asserts the epoch tier's aggregate kernel-level margin.
+Keep it that way; speeding this baseline is pointless unless the same
+trick is structurally unavailable to the array tier.
 """
 
 from __future__ import annotations

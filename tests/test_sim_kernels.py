@@ -198,8 +198,8 @@ class TestBatchedMitigationUnits:
         scalar = make_mitigation("PARA", 64)
         batched = make_mitigation("PARA", 64, batched=True)
         for i in range(5000):
-            assert scalar.on_activation(0, i % 97, float(i)) \
-                == batched.on_activation(0, i % 97, float(i))
+            assert list(scalar.on_activation(0, i % 97, float(i))) \
+                == list(batched.on_activation(0, i % 97, float(i)))
 
     def test_batched_hydra_geometry_validation(self):
         with pytest.raises(ConfigError):
@@ -211,10 +211,10 @@ class TestBatchedMitigationUnits:
             scalar = make_mitigation(name, 32)
             batched = make_mitigation(name, 32, batched=True, config=config)
             for i in range(400):
-                assert scalar.on_activation(1, i % 7, float(i)) \
-                    == batched.on_activation(1, i % 7, float(i))
+                assert list(scalar.on_activation(1, i % 7, float(i))) \
+                    == list(batched.on_activation(1, i % 7, float(i)))
             scalar.on_refresh_window(1e6)
             batched.on_refresh_window(1e6)
             for i in range(400):
-                assert scalar.on_activation(1, i % 7, float(i)) \
-                    == batched.on_activation(1, i % 7, float(i))
+                assert list(scalar.on_activation(1, i % 7, float(i))) \
+                    == list(batched.on_activation(1, i % 7, float(i)))
