@@ -125,6 +125,20 @@ def fig6_nrh_boxes(module_ids: tuple[str, ...], *,
     """Per-vendor box stats of normalized N_RH at each latency."""
     results = sweep_tras(module_ids, tras_factors=tras_factors,
                          per_region=per_region, seed=seed)
+    return fig6_nrh_boxes_from(results, tras_factors=tras_factors)
+
+
+def fig6_nrh_boxes_from(results, *,
+                        tras_factors: tuple[float, ...] = TESTED_TRAS_FACTORS,
+                        ) -> dict[str, dict[float, BoxStats]]:
+    """Fig. 6 boxes from already-characterized modules.
+
+    Takes the ``{module_id: ModuleCharacterization}`` mapping that
+    :func:`repro.characterization.sweeps.sweep_tras` returns and
+    ``CharacterizationCampaign.load()`` reconstructs from disk, so the
+    figure can be rebuilt from persisted campaign rows (e.g. after a
+    distributed run) without re-simulating anything.
+    """
     return _vendor_boxes(results, tras_factors, metric="nrh")
 
 

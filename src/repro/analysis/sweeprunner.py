@@ -35,6 +35,7 @@ from repro.runtime import (
     ProgressReporter,
     Task,
     TaskPool,
+    make_scheduler,
 )
 from repro.runtime.cache import clear_disk_tiers
 from repro.runtime.persist import write_atomic
@@ -243,10 +244,15 @@ class SweepRunner:
         return done, len(points)
 
     def _pool(self, jobs: int | None, progress: ProgressReporter | None,
-              timeout_s: float | None = None) -> TaskPool:
-        return TaskPool(jobs=jobs, ledger_path=self.ledger_path(),
-                        report_path=self.report_path(),
-                        timeout_s=timeout_s, progress=progress)
+              timeout_s: float | None = None, scheduler: str = "local",
+              workers: int | None = None,
+              serve: str | tuple[str, int] | None = None,
+              lease_batch: int | None = None) -> TaskPool:
+        return make_scheduler(scheduler, workers=workers, serve=serve,
+                              lease_batch=lease_batch,
+                              jobs=jobs, ledger_path=self.ledger_path(),
+                              report_path=self.report_path(),
+                              timeout_s=timeout_s, progress=progress)
 
     def _task(self, point: SweepPoint) -> Task:
         path = self.row_path(point)
@@ -286,7 +292,10 @@ class SweepRunner:
 
     def run(self, *, force: bool = False, jobs: int | None = 1,
             progress: ProgressReporter | None = None,
-            task_timeout_s: float | None = None) -> list[SweepRow]:
+            task_timeout_s: float | None = None,
+            scheduler: str = "local", workers: int | None = None,
+            serve: str | tuple[str, int] | None = None,
+            lease_batch: int | None = None) -> list[SweepRow]:
         """Run (or resume) the whole grid; returns rows in grid order.
 
         ``jobs`` controls the worker-process count (``None`` = all cores);
@@ -295,12 +304,19 @@ class SweepRunner:
         ``task_timeout_s`` arms the engine's watchdog: a point whose worker
         produces no row within the deadline is killed and retried
         (deadlines require worker processes, i.e. ``jobs > 1``).
+        ``scheduler`` selects the execution backend
+        (:mod:`repro.runtime.scheduler`): ``local`` drains on this host,
+        ``fleet`` leases points to ``workers`` spawned loopback workers
+        and/or external ``repro-experiments worker`` clients connecting to
+        ``serve`` — rows are byte-identical either way.
         """
         if force:
             self._clear_cache()
         points = self.grid.points()
         pool = self._pool(jobs=jobs, progress=progress,
-                          timeout_s=task_timeout_s)
+                          timeout_s=task_timeout_s, scheduler=scheduler,
+                          workers=workers, serve=serve,
+                          lease_batch=lease_batch)
         results = pool.run([self._task(p) for p in points],
                            loader=load_row, force=force)
         return [results[p.key] for p in points]

@@ -39,6 +39,7 @@ from repro.runtime import (
     Task,
     TaskPool,
     describe_run_report,
+    make_scheduler,
 )
 from repro.runtime.cache import clear_disk_tiers, summarize_caches
 from repro.validation.physics import model_digest
@@ -132,11 +133,16 @@ class CharacterizationCampaign:
         return self.results_dir / REPORT_NAME
 
     def _pool(self, jobs: int | None, progress: ProgressReporter | None,
-              timeout_s: float | None = None) -> TaskPool:
-        return TaskPool(jobs=jobs, ledger_path=self.ledger_path(),
-                        report_path=self.report_path(),
-                        timeout_s=timeout_s, seed=self.config.seed,
-                        progress=progress)
+              timeout_s: float | None = None, scheduler: str = "local",
+              workers: int | None = None,
+              serve: str | tuple[str, int] | None = None,
+              lease_batch: int | None = None) -> TaskPool:
+        return make_scheduler(scheduler, workers=workers, serve=serve,
+                              lease_batch=lease_batch,
+                              jobs=jobs, ledger_path=self.ledger_path(),
+                              report_path=self.report_path(),
+                              timeout_s=timeout_s, seed=self.config.seed,
+                              progress=progress)
 
     def cache_dir(self) -> Path:
         """Where the scalar kernel's probe cache persists its entries."""
@@ -180,6 +186,9 @@ class CharacterizationCampaign:
     def run(self, *, force: bool = False, jobs: int | None = 1,
             progress: ProgressReporter | None = None,
             task_timeout_s: float | None = None,
+            scheduler: str = "local", workers: int | None = None,
+            serve: str | tuple[str, int] | None = None,
+            lease_batch: int | None = None,
             ) -> dict[str, ModuleCharacterization]:
         """Run (or resume) the whole campaign; returns all results.
 
@@ -191,11 +200,18 @@ class CharacterizationCampaign:
         ``task_timeout_s`` arms the engine's watchdog: a module whose
         worker produces no result within the deadline is killed and
         retried (deadlines require worker processes, i.e. ``jobs > 1``).
+        ``scheduler`` selects the execution backend
+        (:mod:`repro.runtime.scheduler`): ``local`` drains on this host,
+        ``fleet`` leases modules to ``workers`` spawned loopback workers
+        and/or external ``repro-experiments worker`` clients connecting to
+        ``serve`` — results are byte-identical either way.
         """
         if force:
             clear_disk_tiers(self.results_dir)
         pool = self._pool(jobs=jobs, progress=progress,
-                          timeout_s=task_timeout_s)
+                          timeout_s=task_timeout_s, scheduler=scheduler,
+                          workers=workers, serve=serve,
+                          lease_batch=lease_batch)
         tasks = [self._task(module_id)
                  for module_id in self.config.module_ids]
         return pool.run(tasks, loader=_load_checked, force=force)

@@ -143,7 +143,9 @@ def cmd_campaign(args: argparse.Namespace) -> int:
                                          mode=args.check_protocol):
                 print(f"physics: {problem}", file=sys.stderr)
     campaign.run(jobs=args.jobs, progress=PrintProgress(), force=args.force,
-                 task_timeout_s=args.task_timeout)
+                 task_timeout_s=args.task_timeout,
+                 scheduler=args.scheduler, workers=args.workers,
+                 serve=args.serve, lease_batch=args.lease_batch)
     print(campaign.summary())
     return 0
 
@@ -168,7 +170,9 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         print(f"{done}/{total} runs done")
         return 0
     rows = runner.run(jobs=args.jobs, progress=PrintProgress(),
-                      force=args.force, task_timeout_s=args.task_timeout)
+                      force=args.force, task_timeout_s=args.task_timeout,
+                      scheduler=args.scheduler, workers=args.workers,
+                      serve=args.serve, lease_batch=args.lease_batch)
     violations = sum(row.violations for row in rows)
     if grid.check_protocol != "off":
         print(f"protocol check ({grid.check_protocol}): "
@@ -184,6 +188,21 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             pass  # a torn report must not break the sweep summary
     print(summarize_caches(args.dir))
     return 0
+
+
+def cmd_worker(args: argparse.Namespace) -> int:
+    from repro.runtime.distributed import run_worker
+    from repro.runtime.scheduler import parse_address
+    host, port = parse_address(args.connect)
+    if host == "0.0.0.0":  # --connect :7045 means "this host"
+        host = "127.0.0.1"
+    code = run_worker(host, port, worker_id=args.id, batch=args.batch,
+                      scratch_dir=args.scratch)
+    if code == 3:
+        print("coordinator went away (run finished or aborted)",
+              file=sys.stderr)
+        return 0  # a drained fleet is a success from the worker's side
+    return code
 
 
 def cmd_validate(args: argparse.Namespace) -> int:
@@ -215,15 +234,40 @@ def cmd_validate(args: argparse.Namespace) -> int:
 def cmd_chaos(args: argparse.Namespace) -> int:
     from repro.validation.chaos import run_chaos_matrix
     if args.dir:
-        report = run_chaos_matrix(args.dir, seed=args.seed)
+        report = run_chaos_matrix(args.dir, seed=args.seed, only=args.only)
     else:
         with tempfile.TemporaryDirectory(prefix="repro-chaos-") as workdir:
-            report = run_chaos_matrix(workdir, seed=args.seed)
+            report = run_chaos_matrix(workdir, seed=args.seed,
+                                      only=args.only)
     print(report.summary())
     if args.out:
         report.save(args.out)
         print(f"wrote {args.out}")
     return 0 if report.all_covered else 1
+
+
+def _add_scheduler_flags(parser: argparse.ArgumentParser,
+                         unit: str) -> None:
+    """The shared ``--scheduler`` knobs of campaign and sweep."""
+    from repro.runtime.scheduler import SCHEDULER_NAMES
+    parser.add_argument("--scheduler", default="local",
+                        choices=SCHEDULER_NAMES,
+                        help=f"execution backend: drain {unit}s on this "
+                             f"host (local) or lease them to a worker "
+                             f"fleet over TCP (fleet); results are "
+                             f"byte-identical either way")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="fleet only: loopback worker processes the "
+                             "coordinator spawns itself (default: 2)")
+    parser.add_argument("--serve", default=None, metavar="HOST:PORT",
+                        help="fleet only: listen here for external "
+                             "`repro-experiments worker` clients "
+                             "(default: an ephemeral loopback port for "
+                             "the spawned workers only)")
+    parser.add_argument("--lease-batch", type=int, default=None,
+                        metavar="N",
+                        help=f"fleet only: {unit}s leased to a worker "
+                             f"per round trip (default: 4)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -310,6 +354,7 @@ def build_parser() -> argparse.ArgumentParser:
                                  choices=("scalar", "batched"),
                                  help="deprecated: use --kernel-policy "
                                       "(kept as a per-stage override)")
+    _add_scheduler_flags(campaign_parser, "module")
     campaign_parser.set_defaults(func=cmd_campaign)
 
     sweep_parser = subparsers.add_parser(
@@ -357,7 +402,26 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_parser.add_argument("--force", action="store_true",
                               help="re-run every point and clear every "
                                    "persisted cache tier under --dir")
+    _add_scheduler_flags(sweep_parser, "point")
     sweep_parser.set_defaults(func=cmd_sweep)
+
+    worker_parser = subparsers.add_parser(
+        "worker", help="join a fleet coordinator as an execution worker")
+    worker_parser.add_argument("--connect", required=True,
+                               metavar="HOST:PORT",
+                               help="coordinator address (the campaign/"
+                                    "sweep process running with "
+                                    "--scheduler fleet --serve ...)")
+    worker_parser.add_argument("--batch", type=int, default=4,
+                               help="tasks to request per lease")
+    worker_parser.add_argument("--scratch", default=None, metavar="DIR",
+                               help="scratch directory for task results "
+                                    "(default: a temporary directory)")
+    worker_parser.add_argument("--id", default=None,
+                               help="worker name in the coordinator's "
+                                    "ledger and run report "
+                                    "(default: w-<hostname>-<pid>)")
+    worker_parser.set_defaults(func=cmd_worker)
 
     validate_parser = subparsers.add_parser(
         "validate", help="run physics guards and the fault-injection matrix")
@@ -379,6 +443,9 @@ def build_parser() -> argparse.ArgumentParser:
         "chaos", help="run the deterministic runtime chaos matrix")
     chaos_parser.add_argument("--seed", type=int, default=2025,
                               help="chaos-scenario seed")
+    chaos_parser.add_argument("--only",
+                              help="run only scenarios whose name contains "
+                                   "this substring (e.g. 'fleet')")
     chaos_parser.add_argument("--dir",
                               help="keep chaos-scenario artifacts here "
                                    "(default: a temporary directory)")

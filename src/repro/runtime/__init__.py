@@ -44,6 +44,12 @@ from repro.runtime.persist import (
     write_atomic,
 )
 from repro.runtime.progress import PrintProgress, ProgressReporter
+from repro.runtime.scheduler import (
+    SCHEDULER_NAMES,
+    make_scheduler,
+    parse_address,
+    validate_scheduler,
+)
 
 __all__ = [
     "CORRUPT_SUFFIX",
@@ -57,6 +63,7 @@ __all__ = [
     "PrintProgress",
     "ProgressReporter",
     "REPORT_NAME",
+    "SCHEDULER_NAMES",
     "TIMEOUT",
     "TRANSIENT",
     "Task",
@@ -68,11 +75,14 @@ __all__ = [
     "describe_run_report",
     "discard_stale_tmp",
     "disk_tier_entries",
+    "make_scheduler",
+    "parse_address",
     "quarantine",
     "register_failure",
     "registered_tiers",
     "reset_cache_counters",
     "reset_failure_rules",
     "summarize_caches",
+    "validate_scheduler",
     "write_atomic",
 ]

@@ -95,7 +95,10 @@ LEDGER_MAX_BYTES = 512 * 1024
 REPORT_NAME = "run_report.json"
 
 #: ``run_report.json`` schema version (bump on breaking shape changes).
-REPORT_SCHEMA_VERSION = 1
+#: v2 adds the scheduler name, per-worker task/failure/degraded counts, and
+#: lease-revocation stats; every v1 field keeps its exact shape, so v1
+#: readers (which ``.get`` what they need) keep working.
+REPORT_SCHEMA_VERSION = 2
 
 
 @dataclass(frozen=True)
@@ -169,8 +172,16 @@ class PoolReport:
     pool_rebuilds: int = 0
     #: Times the watchdog tore a pool down for a deadline overrun.
     watchdog_kills: int = 0
-    #: Execution mode the run ended in: ``pool``, ``isolated``, ``inline``.
+    #: Execution mode the run ended in: ``pool``, ``isolated``, ``inline``
+    #: (local scheduler) or ``fleet`` (distributed scheduler).
     final_mode: str = "inline"
+    #: Which scheduler backend produced this report.
+    scheduler: str = "local"
+    #: Per-worker counters (fleet runs; empty for the local pool, whose
+    #: worker processes are anonymous and interchangeable).
+    workers: dict[str, dict[str, int]] = field(default_factory=dict)
+    #: Leases the coordinator revoked from overrunning workers.
+    lease_revocations: int = 0
 
 
 def describe_run_report(payload: dict) -> str:
@@ -188,6 +199,13 @@ def describe_run_report(payload: dict) -> str:
         parts.append(f"pool rebuilds {pool['rebuilds']}")
     if pool.get("watchdog_kills"):
         parts.append(f"watchdog kills {pool['watchdog_kills']}")
+    # v2 fields; absent from v1 payloads, which must keep describing fine.
+    workers = payload.get("workers") or {}
+    if workers:
+        parts.append(f"workers {len(workers)}")
+    revoked = (payload.get("leases") or {}).get("revoked", 0)
+    if revoked:
+        parts.append(f"leases revoked {revoked}")
     classes = {name: count
                for name, count in payload.get("failure_classes", {}).items()
                if count}
@@ -304,7 +322,7 @@ class TaskPool:
         if pending:
             for directory in {task.path.parent for task in pending}:
                 discard_stale_tmp(directory)
-            _Drain(self, pending, loader, results, report).execute()
+            self._execute(pending, loader, results, report)
         self.progress.finish()
         self._write_report(len(tasks), report)
         if report.failed:
@@ -316,6 +334,19 @@ class TaskPool:
                 f"{len(report.failed)}/{len(tasks)} points failed permanently "
                 f"after {self.max_attempts} attempts: {named}{ledger}")
         return {key: results[key] for key in keys}
+
+    # ------------------------------------------------------------------
+    def _execute(self, pending: list[Task], loader: Callable[[Path], Any],
+                 results: dict[str, Any], report: PoolReport) -> None:
+        """Drain ``pending`` into ``results``/``report``.
+
+        The scheduler seam: :class:`TaskPool` drains through a local
+        process pool; :class:`repro.runtime.distributed.FleetScheduler`
+        overrides this one method to drain through a worker fleet.  Reuse,
+        quarantine, ledgering, reporting, and the failure contract all
+        live in :meth:`run` and are shared by every backend.
+        """
+        _Drain(self, pending, loader, results, report).execute()
 
     # ------------------------------------------------------------------
     def _write_report(self, total: int, report: PoolReport) -> None:
@@ -331,6 +362,7 @@ class TaskPool:
                 class_counts.get(classification, 0) + 1
         payload = {
             "schema_version": REPORT_SCHEMA_VERSION,
+            "scheduler": report.scheduler,
             "jobs": self.jobs,
             "tasks": total,
             "elapsed_s": round(
@@ -358,22 +390,27 @@ class TaskPool:
             },
             "degraded_keys": sorted(set(report.degraded)),
             "timeout_keys": sorted(set(report.timeouts)),
+            "workers": {worker: dict(sorted(stats.items()))
+                        for worker, stats in sorted(report.workers.items())},
+            "leases": {"revoked": report.lease_revocations},
         }
         write_atomic(path, json.dumps(payload, indent=1, sort_keys=True) + "\n")
 
     # ------------------------------------------------------------------
     def _record(self, key: str, attempt: int, error: str, *,
-                action: str, **extra: str) -> None:
+                action: str, worker: str = "local", **extra: str) -> None:
         """Append one event to the error ledger (if one is configured).
 
-        Each record carries the retry ``attempt`` number and the monotonic
+        Each record carries the retry ``attempt`` number, the monotonic
         ``elapsed_s`` since the run started (wall-clock ``time`` can jump
-        backwards under NTP; debugging a retry storm needs real durations).
+        backwards under NTP; debugging a retry storm needs real durations),
+        and the ``worker`` the event is attributed to — ``"local"`` for the
+        in-process pool, the worker id for fleet runs.
         """
         if self.ledger_path is None:
             return
         record = {"key": key, "action": action, "attempt": attempt,
-                  "error": error, "time": time.time(),
+                  "error": error, "worker": worker, "time": time.time(),
                   "elapsed_s": round(
                       time.monotonic() - self._run_started_monotonic, 6),
                   **extra}

@@ -1,10 +1,19 @@
 """Progress and ETA reporting for campaigns and sweeps.
 
 The paper's artifact tracks its Ramulator grid with ``check_run_status.py``;
-this is that tracker for the in-process execution engine.  The engine calls
-the reporter as tasks are reused, finished, retried, or abandoned, and the
+this is that tracker for the execution engine.  The engine calls the
+reporter as tasks are reused, finished, retried, or abandoned, and the
 :class:`PrintProgress` implementation renders completion, elapsed time, and
 an ETA extrapolated from the observed per-task rate.
+
+The reporter is **scheduler-agnostic**: completion and ETA are aggregated
+from the task-level events every backend emits — the local pool from its
+drain loop, the fleet coordinator from its lease table (grant, report,
+revoke) — never from pool internals.  Fleet runs additionally call the
+worker hooks (:meth:`ProgressReporter.worker_joined` /
+:meth:`ProgressReporter.worker_left` / :meth:`ProgressReporter.lease_update`)
+and attribute each completion to the worker that computed it; local runs
+never pass a worker, so the single-line local output format is unchanged.
 """
 
 from __future__ import annotations
@@ -22,8 +31,12 @@ class ProgressReporter:
     def start(self, total: int, reused: int = 0) -> None:
         """A run begins: ``total`` tasks, ``reused`` already loaded from disk."""
 
-    def task_done(self, key: str) -> None:
-        """One task computed and persisted successfully."""
+    def task_done(self, key: str, *, worker: str | None = None) -> None:
+        """One task computed and persisted successfully.
+
+        ``worker`` names the fleet worker that computed it; the local
+        scheduler's anonymous pool processes pass ``None``.
+        """
 
     def task_retry(self, key: str, attempt: int, error: str, *,
                    classification: str = "transient") -> None:
@@ -45,6 +58,15 @@ class ProgressReporter:
 
     def pool_rebuilt(self, rebuilds: int, mode: str, reason: str) -> None:
         """The worker pool died (or was killed) and was replaced."""
+
+    def worker_joined(self, worker: str, workers: int) -> None:
+        """A fleet worker connected (``workers`` now connected in total)."""
+
+    def worker_left(self, worker: str, workers: int, reason: str) -> None:
+        """A fleet worker disconnected or crashed."""
+
+    def lease_update(self, worker: str, in_flight: int) -> None:
+        """A worker's lease changed; ``in_flight`` tasks now leased to it."""
 
     def finish(self) -> None:
         """The run is over (successfully or not)."""
@@ -77,9 +99,10 @@ class PrintProgress(ProgressReporter):
         else:
             self._emit(f"{total} tasks to run")
 
-    def task_done(self, key: str) -> None:
+    def task_done(self, key: str, *, worker: str | None = None) -> None:
         self.done += 1
-        self._emit(f"[{self._finished}/{self.total}] done {key}"
+        via = f" via {worker}" if worker is not None else ""
+        self._emit(f"[{self._finished}/{self.total}] done {key}{via}"
                    f" ({self._timing()})")
 
     def task_retry(self, key: str, attempt: int, error: str, *,
@@ -103,6 +126,12 @@ class PrintProgress(ProgressReporter):
 
     def pool_rebuilt(self, rebuilds: int, mode: str, reason: str) -> None:
         self._emit(f"worker pool rebuilt (#{rebuilds}, now {mode}): {reason}")
+
+    def worker_joined(self, worker: str, workers: int) -> None:
+        self._emit(f"worker {worker} joined ({workers} connected)")
+
+    def worker_left(self, worker: str, workers: int, reason: str) -> None:
+        self._emit(f"worker {worker} left ({workers} connected): {reason}")
 
     def finish(self) -> None:
         elapsed = self.clock() - self.started_at

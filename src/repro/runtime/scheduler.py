@@ -1,0 +1,93 @@
+"""Pluggable scheduler selection for campaigns and sweeps.
+
+Every execution backend implements one interface — :class:`TaskPool`'s
+``run(tasks, loader, force=...)`` contract: reuse valid on-disk results,
+quarantine corrupt ones, drain the rest with classified retries, persist
+``errors.jsonl`` + ``run_report.json``, and raise
+:class:`~repro.errors.ExecutionError` naming any permanently failed
+points.  What varies is only *where* the draining happens:
+
+``local``
+    :class:`~repro.runtime.engine.TaskPool` itself — a process pool on
+    this host (``jobs`` workers; ``jobs=1`` runs inline).
+
+``fleet``
+    :class:`~repro.runtime.distributed.FleetScheduler` — a TCP
+    coordinator that leases batched tasks to ``repro-experiments worker``
+    clients (spawned loopback workers and/or external connections), and
+    writes the results they push back into the same content-addressed
+    store.  Results are byte-identical to a ``local`` run for any worker
+    count or failure interleaving.
+
+Call sites never branch on the name: :func:`make_scheduler` is the one
+resolution site, mirroring how :mod:`repro.exec` resolves kernels.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import ConfigError
+from repro.runtime.engine import TaskPool
+
+__all__ = ["SCHEDULER_NAMES", "make_scheduler", "parse_address",
+           "validate_scheduler"]
+
+#: Every scheduler backend, oracle (reference) first.
+SCHEDULER_NAMES = ("local", "fleet")
+
+
+def validate_scheduler(name: str) -> str:
+    """Validate a scheduler backend name."""
+    if name not in SCHEDULER_NAMES:
+        raise ConfigError(
+            f"scheduler must be one of {SCHEDULER_NAMES}, got {name!r}")
+    return name
+
+
+def parse_address(address: str) -> tuple[str, int]:
+    """``"host:port"`` -> ``(host, port)`` (the ``--serve``/``--connect``
+    grammar; host may be empty for all-interfaces binds)."""
+    host, separator, port_text = address.rpartition(":")
+    if not separator or not port_text.isdigit():
+        raise ConfigError(
+            f"expected HOST:PORT (e.g. 127.0.0.1:7045), got {address!r}")
+    port = int(port_text)
+    if port > 65535:
+        raise ConfigError(f"port out of range in {address!r}")
+    return host or "0.0.0.0", port
+
+
+def make_scheduler(name: str = "local", *,
+                   workers: int | None = None,
+                   serve: str | tuple[str, int] | None = None,
+                   lease_batch: int | None = None,
+                   **pool_options: Any) -> TaskPool:
+    """Build the scheduler backend ``name`` resolves to.
+
+    ``pool_options`` are the shared :class:`TaskPool` knobs (jobs,
+    retries, backoff, ledger/report paths, timeouts, progress, seed);
+    ``workers``/``serve``/``lease_batch`` configure the fleet backend and
+    are rejected for ``local``, where they would silently do nothing.
+    """
+    validate_scheduler(name)
+    if name == "local":
+        ignored = [flag for flag, value in
+                   (("workers", workers), ("serve", serve),
+                    ("lease_batch", lease_batch)) if value is not None]
+        if ignored:
+            raise ConfigError(
+                f"{', '.join(ignored)} only apply to --scheduler fleet")
+        return TaskPool(**pool_options)
+    from repro.runtime.distributed import FleetScheduler
+
+    if isinstance(serve, str):
+        serve = parse_address(serve)
+    fleet_options: dict[str, Any] = {}
+    if workers is not None:
+        fleet_options["workers"] = workers
+    if serve is not None:
+        fleet_options["serve"] = serve
+    if lease_batch is not None:
+        fleet_options["lease_batch"] = lease_batch
+    return FleetScheduler(**fleet_options, **pool_options)

@@ -47,6 +47,7 @@ from repro.runtime import (
     REPORT_NAME,
     Task,
     TaskPool,
+    make_scheduler,
     write_atomic,
 )
 from repro.runtime.cache import DigestCache
@@ -129,6 +130,27 @@ def _config_error(n: int, path: str) -> None:
     raise ConfigError(f"point {n}: invalid configuration (injected)")
 
 
+def _write_then_die(marker: str, n: int, path: str) -> None:
+    """First attempt computes its result, then dies before reporting it.
+
+    Under the fleet scheduler the result lands in the worker's private
+    scratch dir and dies with the worker — the coordinator must requeue
+    the lease, and the recomputed result must be byte-identical.
+    """
+    _compute_point(n, path)
+    if _first_time(marker):
+        os.kill(os.getpid(), signal.SIGKILL)
+
+
+def _slow_once(marker: str, n: int, path: str) -> None:
+    """First attempt overruns any reasonable lease deadline; retries are
+    fast.  The sleep is far above the scenario's 1s deadline but bounded,
+    so even a broken revocation path cannot hang the suite."""
+    if _first_time(marker):
+        time.sleep(8.0)
+    _compute_point(n, path)
+
+
 def _faulty_characterize(module_id: str, config, path: str, kernel: str,
                          cache_dir: str | None) -> None:
     """Characterization worker whose fast kernel is broken.
@@ -161,6 +183,15 @@ def _pool(directory: Path, **overrides) -> TaskPool:
                    ledger_path=directory / LEDGER_NAME)
     options.update(overrides)
     return TaskPool(**options)
+
+
+def _fleet_pool(directory: Path, **overrides) -> TaskPool:
+    """A loopback fleet scheduler with the same chaos-friendly knobs."""
+    options = dict(workers=2, max_attempts=3, backoff_s=0.01,
+                   ledger_path=directory / LEDGER_NAME,
+                   report_path=directory / REPORT_NAME)
+    options.update(overrides)
+    return make_scheduler("fleet", **options)
 
 
 def _result_bytes(directory: Path) -> dict[str, bytes]:
@@ -458,6 +489,105 @@ class DegradedKernelCampaign(_ChaosScenario):
         return self._result(ABSORBED if ok else MISSED, evidence)
 
 
+class FleetWorkerSigkill(_ChaosScenario):
+    name = "fleet-worker-sigkill"
+    expected = ABSORBED
+    description = ("a fleet worker is SIGKILLed mid-task; the coordinator "
+                   "requeues its leases uncharged (infrastructure) and the "
+                   "surviving worker completes the grid byte-identically")
+
+    def run(self, workdir: Path, seed: int) -> FaultResult:
+        poison = self.poison_index(seed)
+        run_dir = workdir / "faulted"
+        tasks = _grid_tasks(run_dir)
+        marker = str(run_dir / "killed.marker")
+        run_dir.mkdir(parents=True, exist_ok=True)
+        tasks[poison] = replace(
+            tasks[poison], fn=_sigkill_once,
+            args=(marker,) + tasks[poison].args)
+        pool = _fleet_pool(run_dir)
+        results = pool.run(tasks, loader=_load_point)
+        lost = [record for record in _ledger_actions(run_dir)
+                if record["action"] == "worker-lost"
+                and record.get("class") == "infrastructure"]
+        disconnects = sum(stats["disconnects"]
+                          for stats in pool.last_report.workers.values())
+        identical = _result_bytes(run_dir) == self.reference(workdir)
+        ok = (len(results) == _NPOINTS and lost and disconnects >= 1
+              and identical)
+        evidence = (f"{len(results)}/{_NPOINTS} completed, "
+                    f"{len(lost)} worker-lost record(s), "
+                    f"{disconnects} disconnect(s) in the run report, "
+                    f"byte-identical={identical}")
+        return self._result(ABSORBED if ok else MISSED, evidence)
+
+
+class FleetWorkerVanishedResult(_ChaosScenario):
+    name = "fleet-worker-vanished-result"
+    expected = ABSORBED
+    description = ("a fleet worker computes a result but dies before "
+                   "reporting it; the result dies with the worker's "
+                   "scratch dir and the recomputation is byte-identical")
+
+    def run(self, workdir: Path, seed: int) -> FaultResult:
+        poison = self.poison_index(seed)
+        run_dir = workdir / "faulted"
+        tasks = _grid_tasks(run_dir)
+        poison_key = tasks[poison].key
+        marker = str(run_dir / "vanished.marker")
+        run_dir.mkdir(parents=True, exist_ok=True)
+        tasks[poison] = replace(
+            tasks[poison], fn=_write_then_die,
+            args=(marker,) + tasks[poison].args)
+        pool = _fleet_pool(run_dir)
+        results = pool.run(tasks, loader=_load_point)
+        lost = [record for record in _ledger_actions(run_dir)
+                if record["action"] == "worker-lost"]
+        identical = _result_bytes(run_dir) == self.reference(workdir)
+        ok = (len(results) == _NPOINTS and lost and identical
+              and poison_key in results)
+        evidence = (f"{len(results)}/{_NPOINTS} completed, "
+                    f"{len(lost)} worker-lost record(s), "
+                    f"byte-identical={identical}")
+        return self._result(ABSORBED if ok else MISSED, evidence)
+
+
+class FleetSlowWorkerLease(_ChaosScenario):
+    name = "fleet-slow-worker-lease"
+    expected = ABSORBED
+    description = ("a fleet worker overruns its 1s lease deadline by 8s; "
+                   "the coordinator revokes the lease, drops the late "
+                   "result as stale, and the reassigned point completes "
+                   "byte-identically without stalling the grid")
+
+    def run(self, workdir: Path, seed: int) -> FaultResult:
+        poison = self.poison_index(seed)
+        run_dir = workdir / "faulted"
+        tasks = _grid_tasks(run_dir)
+        marker = str(run_dir / "slow.marker")
+        run_dir.mkdir(parents=True, exist_ok=True)
+        tasks[poison] = replace(
+            tasks[poison], fn=_slow_once,
+            args=(marker,) + tasks[poison].args)
+        pool = _fleet_pool(run_dir, timeout_s=1.0)
+        started = time.monotonic()
+        results = pool.run(tasks, loader=_load_point)
+        elapsed = time.monotonic() - started
+        report = pool.last_report
+        run_report = json.loads((run_dir / REPORT_NAME).read_text())
+        timed_out = [record for record in _ledger_actions(run_dir)
+                     if record["action"] == "timeout"]
+        identical = _result_bytes(run_dir) == self.reference(workdir)
+        ok = (len(results) == _NPOINTS and report.lease_revocations >= 1
+              and run_report["leases"]["revoked"] >= 1 and timed_out
+              and elapsed < 30.0 and identical)
+        evidence = (f"completed in {elapsed:.1f}s (overrun was 8s), "
+                    f"{report.lease_revocations} lease revocation(s), "
+                    f"{len(timed_out)} timeout record(s), "
+                    f"byte-identical={identical}")
+        return self._result(ABSORBED if ok else MISSED, evidence)
+
+
 #: Every chaos scenario, in a stable order.
 ALL_CHAOS: tuple[FaultScenario, ...] = (
     WorkerSigkillRecovered(),
@@ -468,14 +598,25 @@ ALL_CHAOS: tuple[FaultScenario, ...] = (
     PermanentConfigFault(),
     CacheEntryBitflip(),
     DegradedKernelCampaign(),
+    FleetWorkerSigkill(),
+    FleetWorkerVanishedResult(),
+    FleetSlowWorkerLease(),
 )
 
 
-def run_chaos_matrix(workdir: str | Path, *, seed: int = 2025) -> MatrixReport:
-    """Run every chaos scenario; never raises for a failing scenario."""
+def run_chaos_matrix(workdir: str | Path, *, seed: int = 2025,
+                     only: str | None = None) -> MatrixReport:
+    """Run every chaos scenario; never raises for a failing scenario.
+
+    ``only`` keeps just the scenarios whose name contains the substring
+    (e.g. ``"fleet"`` for the distributed-recovery trio in CI).
+    """
     workdir = Path(workdir)
+    scenarios = [s for s in ALL_CHAOS if only is None or only in s.name]
+    if not scenarios:
+        raise ConfigError(f"no chaos scenario matches {only!r}")
     results = []
-    for scenario in ALL_CHAOS:
+    for scenario in scenarios:
         scenario_dir = workdir / scenario.name
         scenario_dir.mkdir(parents=True, exist_ok=True)
         try:

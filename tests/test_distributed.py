@@ -1,0 +1,401 @@
+"""Tests for the fleet scheduler: wire protocol, codec, coordinator."""
+
+import json
+import pickle
+import socket
+import threading
+
+import pytest
+
+from repro.errors import ConfigError, ExecutionError
+from repro.runtime import (
+    SCHEDULER_NAMES,
+    Task,
+    TaskPool,
+    make_scheduler,
+    parse_address,
+    validate_scheduler,
+    write_atomic,
+)
+from repro.runtime.distributed import FleetScheduler, echo_point, run_worker
+from repro.runtime.wire import (
+    BLOB_MIN,
+    COMPRESS_MIN,
+    FrameError,
+    blob_digest,
+    callable_ref,
+    canonical_blob,
+    decode_value,
+    encode_value,
+    intern_args,
+    recv_frame,
+    referenced_blobs,
+    resolve_callable,
+    send_frame,
+)
+
+
+# ----------------------------------------------------------------------
+# worker functions (module-level: workers resolve them by reference)
+# ----------------------------------------------------------------------
+def _load_echo(path):
+    payload = json.loads(path.read_text())
+    if set(payload) != {"n", "echo"}:
+        raise ValueError(f"malformed echo result at {path}")
+    return payload["echo"]
+
+
+def _bad_config(n, path):
+    raise ConfigError(f"point {n} rejected (injected)")
+
+
+def _flaky_echo(marker, n, path):
+    """Fails once (marker claims first-failure state), then succeeds."""
+    import os
+    try:
+        os.close(os.open(marker, os.O_CREAT | os.O_EXCL | os.O_WRONLY))
+        raise ValueError("transient hiccup (injected)")
+    except FileExistsError:
+        echo_point(n, path)
+
+
+def _kernel_echo(n, path, broken):
+    """Primary args run with ``broken=True`` and raise; the fallback args
+    carry ``broken=False`` — the degradation-path stand-in."""
+    if broken:
+        raise RuntimeError("fast kernel exploded (injected)")
+    echo_point(n, path)
+
+
+def _sibling_writer(n, path):
+    """Writes its row plus a sibling ledger file next to it."""
+    echo_point(n, path)
+    from pathlib import Path
+    sibling = Path(path).with_suffix(".violations.jsonl")
+    write_atomic(sibling, json.dumps({"n": n, "violations": []}) + "\n")
+
+
+# ----------------------------------------------------------------------
+# frames
+# ----------------------------------------------------------------------
+def _socket_pair():
+    left, right = socket.socketpair()
+    return left, right
+
+
+class TestFrames:
+    def test_roundtrip_small_message(self):
+        left, right = _socket_pair()
+        message = {"type": "hello", "worker": "w1", "n": 7}
+        sent = send_frame(left, message)
+        assert recv_frame(right) == message
+        # Small frames ship uncompressed: header + payload.
+        assert sent == 5 + len(json.dumps(message, separators=(",", ":")))
+        left.close(), right.close()
+
+    def test_large_frames_compress(self):
+        left, right = _socket_pair()
+        message = {"blob": "x" * (4 * COMPRESS_MIN)}
+        sent = send_frame(left, message)
+        assert sent < COMPRESS_MIN  # zlib crushes the repetition
+        assert recv_frame(right) == message
+        left.close(), right.close()
+
+    def test_clean_eof_returns_none(self):
+        left, right = _socket_pair()
+        left.close()
+        assert recv_frame(right) is None
+        right.close()
+
+    def test_mid_frame_eof_raises(self):
+        left, right = _socket_pair()
+        left.sendall(b"\x00\x00\x00\x00\x10partial")
+        left.close()
+        with pytest.raises(ConnectionError, match="mid-frame"):
+            recv_frame(right)
+        right.close()
+
+    def test_oversized_length_prefix_rejected(self):
+        import struct
+        left, right = _socket_pair()
+        left.sendall(struct.pack("!BI", 0, 2**31))
+        with pytest.raises(FrameError, match="cap"):
+            recv_frame(right)
+        left.close(), right.close()
+
+    def test_non_object_frame_rejected(self):
+        import struct
+        left, right = _socket_pair()
+        blob = b"[1,2,3]"
+        left.sendall(struct.pack("!BI", 0, len(blob)) + blob)
+        with pytest.raises(FrameError, match="object"):
+            recv_frame(right)
+        left.close(), right.close()
+
+
+# ----------------------------------------------------------------------
+# value codec
+# ----------------------------------------------------------------------
+class TestValueCodec:
+    def test_scalars_pass_through(self):
+        for value in (None, True, 3, 2.5, "plain"):
+            assert decode_value(encode_value(value)) == value
+
+    def test_tuple_and_path_roundtrip(self):
+        from pathlib import Path
+        value = (1, "two", (3.0, None), Path("/tmp/row.json"))
+        decoded = decode_value(encode_value(value))
+        assert decoded == value
+        assert isinstance(decoded, tuple)
+        assert isinstance(decoded[3], Path)
+
+    def test_dataclass_roundtrip(self):
+        from repro.analysis.sweeprunner import SweepPoint
+        point = SweepPoint("PARA", 64, None, ("spec06.mcf",))
+        decoded = decode_value(encode_value(point))
+        assert decoded == point
+        assert isinstance(decoded, SweepPoint)
+        assert isinstance(decoded.workloads, tuple)
+
+    def test_task_path_sentinel_substituted(self):
+        encoded = encode_value(("/here/row.json", "unrelated"),
+                               task_path="/here/row.json")
+        decoded = decode_value(encoded, task_path="/scratch/row.json")
+        assert decoded == ("/scratch/row.json", "unrelated")
+
+    def test_tag_colliding_dict_key_rejected(self):
+        with pytest.raises(ConfigError, match="collides"):
+            encode_value({"__t": 1})
+
+    def test_non_string_dict_key_rejected(self):
+        with pytest.raises(ConfigError, match="string dict keys"):
+            encode_value({1: "x"})
+
+    def test_unshippable_type_rejected(self):
+        with pytest.raises(ConfigError, match="cannot ship"):
+            encode_value(object())
+
+    def test_callable_ref_roundtrip(self):
+        ref = callable_ref(echo_point)
+        assert ref == "repro.runtime.distributed:echo_point"
+        assert resolve_callable(ref) is echo_point
+
+    def test_callable_ref_rejects_closures(self):
+        with pytest.raises(ConfigError, match="module-level"):
+            callable_ref(lambda: None)
+
+
+class TestBlobInterning:
+    def test_heavy_args_interned_small_args_inline(self):
+        table = {}
+        heavy = {"config": "y" * (2 * BLOB_MIN)}
+        args = intern_args([encode_value(heavy), encode_value(3)], table)
+        assert args[1] == 3
+        (digest,) = table
+        assert args[0] == {"__blob": digest}
+        assert digest == blob_digest(canonical_blob(encode_value(heavy)))
+        assert referenced_blobs(args) == {digest}
+        assert decode_value(args[0], blobs=table) == heavy
+
+    def test_missing_blob_body_is_an_error(self):
+        with pytest.raises(ConfigError, match="unknown blob"):
+            decode_value({"__blob": "feedfacefeedface"}, blobs={})
+
+    def test_interning_dedupes_identical_payloads(self):
+        table = {}
+        heavy = encode_value({"config": "z" * (2 * BLOB_MIN)})
+        intern_args([heavy], table)
+        intern_args([heavy], table)
+        assert len(table) == 1
+
+
+# ----------------------------------------------------------------------
+# scheduler registry
+# ----------------------------------------------------------------------
+class TestSchedulerRegistry:
+    def test_names_and_validation(self):
+        assert SCHEDULER_NAMES == ("local", "fleet")
+        assert validate_scheduler("local") == "local"
+        with pytest.raises(ConfigError, match="scheduler"):
+            validate_scheduler("slurm")
+
+    def test_parse_address(self):
+        assert parse_address("127.0.0.1:7045") == ("127.0.0.1", 7045)
+        assert parse_address(":7045") == ("0.0.0.0", 7045)
+        for bad in ("nohost", "host:", "host:notaport", "host:70000"):
+            with pytest.raises(ConfigError):
+                parse_address(bad)
+
+    def test_local_is_a_plain_task_pool(self):
+        pool = make_scheduler("local", jobs=1)
+        assert type(pool) is TaskPool
+
+    def test_local_rejects_fleet_only_knobs(self):
+        with pytest.raises(ConfigError, match="fleet"):
+            make_scheduler("local", workers=2)
+
+    def test_fleet_needs_some_worker_source(self):
+        with pytest.raises(ConfigError, match="worker"):
+            make_scheduler("fleet", workers=0)
+
+    def test_fleet_scheduler_is_a_task_pool(self):
+        pool = make_scheduler("fleet", workers=1, jobs=1)
+        assert isinstance(pool, FleetScheduler)
+        assert isinstance(pool, TaskPool)
+
+
+# ----------------------------------------------------------------------
+# end-to-end over loopback
+# ----------------------------------------------------------------------
+def _echo_tasks(directory, count=6):
+    return [Task(key=f"p{n}", path=directory / f"p{n}.json", fn=echo_point,
+                 args=(n, str(directory / f"p{n}.json")))
+            for n in range(count)]
+
+
+def _result_bytes(directory):
+    return {p.name: p.read_bytes() for p in sorted(directory.glob("*.json"))
+            if p.name != "run_report.json"}
+
+
+class TestFleetEndToEnd:
+    def test_byte_identical_to_local_and_report_v2(self, tmp_path):
+        local_dir, fleet_dir = tmp_path / "local", tmp_path / "fleet"
+        TaskPool(jobs=1).run(_echo_tasks(local_dir), loader=_load_echo)
+        pool = make_scheduler(
+            "fleet", workers=2, ledger_path=fleet_dir / "errors.jsonl",
+            report_path=fleet_dir / "run_report.json")
+        results = pool.run(_echo_tasks(fleet_dir), loader=_load_echo)
+        assert results == {f"p{n}": n * n + 1 for n in range(6)}
+        assert _result_bytes(fleet_dir) == _result_bytes(local_dir)
+        report = json.loads((fleet_dir / "run_report.json").read_text())
+        assert report["schema_version"] == 2
+        assert report["scheduler"] == "fleet"
+        assert report["pool"]["final_mode"] == "fleet"
+        assert sum(stats["tasks"]
+                   for stats in report["workers"].values()) == 6
+        assert report["leases"] == {"revoked": 0}
+
+    def test_resume_reuses_persisted_results(self, tmp_path):
+        tasks = _echo_tasks(tmp_path)
+        make_scheduler("fleet", workers=1).run(tasks, loader=_load_echo)
+        pool = make_scheduler("fleet", workers=1,
+                              report_path=tmp_path / "run_report.json")
+        pool.run(_echo_tasks(tmp_path), loader=_load_echo)
+        report = json.loads((tmp_path / "run_report.json").read_text())
+        assert report["counts"]["reused"] == 6
+        assert report["counts"]["computed"] == 0
+
+    def test_lease_batching_amortizes_round_trips(self, tmp_path):
+        pool = make_scheduler("fleet", workers=1, lease_batch=6)
+        results = pool.run(_echo_tasks(tmp_path), loader=_load_echo)
+        assert len(results) == 6
+
+    def test_permanent_failure_classified_with_worker_attribution(
+            self, tmp_path):
+        tasks = _echo_tasks(tmp_path, count=3)
+        bad = Task(key="bad", path=tmp_path / "bad.json", fn=_bad_config,
+                   args=(9, str(tmp_path / "bad.json")))
+        pool = make_scheduler("fleet", workers=2,
+                              ledger_path=tmp_path / "errors.jsonl")
+        with pytest.raises(ExecutionError, match=r"bad \[permanent\]"):
+            pool.run(tasks + [bad], loader=_load_echo)
+        assert len(_result_bytes(tmp_path)) == 3  # survivors all landed
+        records = [json.loads(line) for line in
+                   (tmp_path / "errors.jsonl").read_text().splitlines()]
+        attempts = [r for r in records if r["action"] == "attempt"
+                    and r["key"] == "bad"]
+        assert len(attempts) == 1  # permanent: no futile retries
+        assert attempts[0]["class"] == "permanent"
+        assert attempts[0]["worker"].startswith("w")
+
+    def test_transient_failure_retries_to_success(self, tmp_path):
+        marker = str(tmp_path / "flaky.marker")
+        flaky = Task(key="fl", path=tmp_path / "fl.json", fn=_flaky_echo,
+                     args=(marker, 4, str(tmp_path / "fl.json")))
+        pool = make_scheduler("fleet", workers=1, backoff_s=0.01,
+                              ledger_path=tmp_path / "errors.jsonl")
+        results = pool.run([flaky], loader=_load_echo)
+        assert results["fl"] == 17
+        assert pool.last_report.retried == ["fl"]
+
+    def test_worker_side_fallback_degradation(self, tmp_path):
+        path = tmp_path / "deg.json"
+        task = Task(key="deg", path=path, fn=_kernel_echo,
+                    args=(5, str(path), True),
+                    fallback_args=(5, str(path), False))
+        pool = make_scheduler("fleet", workers=1,
+                              ledger_path=tmp_path / "errors.jsonl",
+                              report_path=tmp_path / "run_report.json")
+        results = pool.run([task], loader=_load_echo)
+        assert results["deg"] == 26
+        report = json.loads((tmp_path / "run_report.json").read_text())
+        assert report["degraded_keys"] == ["deg"]
+        assert report["counts"]["retries"] == 0  # degradation is free
+
+    def test_sibling_files_ship_back_with_the_result(self, tmp_path):
+        path = tmp_path / "row.json"
+        task = Task(key="row", path=path, fn=_sibling_writer,
+                    args=(2, str(path)))
+        results = make_scheduler("fleet", workers=1).run(
+            [task], loader=_load_echo)
+        assert results["row"] == 5
+        sibling = json.loads(
+            (tmp_path / "row.violations.jsonl").read_text())
+        assert sibling == {"n": 2, "violations": []}
+
+    def test_external_worker_over_serve_address(self, tmp_path):
+        pool = make_scheduler("fleet", workers=0, serve="127.0.0.1:0",
+                              report_path=tmp_path / "run_report.json")
+        tasks = _echo_tasks(tmp_path)
+        results = {}
+        errors = []
+
+        def drive():
+            try:
+                results.update(pool.run(tasks, loader=_load_echo))
+            except Exception as error:  # noqa: BLE001 — surfaced below
+                errors.append(error)
+
+        coordinator = threading.Thread(target=drive)
+        coordinator.start()
+        try:
+            assert pool.serving.wait(timeout=10.0)
+            host, port = pool.bound_address
+            assert run_worker(host, port, worker_id="ext-1",
+                              scratch_dir=tmp_path / "scratch") == 0
+        finally:
+            coordinator.join(timeout=30.0)
+        assert not errors and not coordinator.is_alive()
+        assert results == {f"p{n}": n * n + 1 for n in range(6)}
+        report = json.loads((tmp_path / "run_report.json").read_text())
+        assert set(report["workers"]) == {"ext-1"}
+
+    def test_digest_payloads_smaller_than_pickled_task(self, tmp_path):
+        """The perf claim behind blob interning: once a worker holds the
+        config blob, each further lease spec is smaller than the naive
+        wire baseline of pickling the whole Task."""
+        from repro.characterization.campaign import (
+            CampaignConfig,
+            CharacterizationCampaign,
+        )
+        campaign = CharacterizationCampaign(tmp_path,
+                                            CampaignConfig(per_region=4))
+        task = campaign._task("S6")
+        run = _FakeRun()
+        spec = run.spec(task)
+        pickled = len(pickle.dumps(task))
+        warm = len(canonical_blob(spec))  # blob already at the worker
+        assert warm < pickled
+        assert referenced_blobs(spec["args"])  # the config was interned
+
+
+class _FakeRun:
+    """Just enough of a coordinator to encode one task spec."""
+
+    def __init__(self):
+        self.blob_table = {}
+
+    def spec(self, task):
+        from repro.runtime.distributed import _FleetRun
+        return _FleetRun.__dict__["_spec"](self, task, 1)

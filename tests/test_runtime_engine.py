@@ -13,6 +13,7 @@ from repro.runtime import (
     ProgressReporter,
     Task,
     TaskPool,
+    describe_run_report,
     discard_stale_tmp,
     quarantine,
     write_atomic,
@@ -532,12 +533,59 @@ class TestRunReport:
         pool = TaskPool(jobs=1, ledger_path=tmp_path / "errors.jsonl")
         pool.run(tasks, loader=_load_square)
         payload = json.loads((tmp_path / REPORT_NAME).read_text())
-        assert payload["schema_version"] == 1
+        assert payload["schema_version"] == 2
         assert payload["tasks"] == 2
         assert payload["counts"]["computed"] == 2
         assert payload["counts"]["failed"] == 0
         assert payload["pool"]["final_mode"] == "inline"
         assert payload["elapsed_s"] >= 0
+        # v2 additions; the local scheduler has no named workers.
+        assert payload["scheduler"] == "local"
+        assert payload["workers"] == {}
+        assert payload["leases"] == {"revoked": 0}
+
+    def test_schema_v2_preserves_every_v1_field(self, tmp_path):
+        """Version gate: a v1 reader consuming only v1 fields keeps
+        working on a v2 report — every v1 key is present with its v1
+        shape, and the v2 additions are separate new keys."""
+        from repro.runtime import REPORT_NAME
+        tasks = [_square_task(tmp_path, n) for n in (1, 2)]
+        pool = TaskPool(jobs=1, ledger_path=tmp_path / "errors.jsonl")
+        pool.run(tasks, loader=_load_square)
+        payload = json.loads((tmp_path / REPORT_NAME).read_text())
+        v1_shapes = {"schema_version": int, "jobs": int, "tasks": int,
+                     "elapsed_s": (int, float), "counts": dict,
+                     "pool": dict, "failure_classes": dict, "failed": dict,
+                     "degraded_keys": list, "timeout_keys": list}
+        for key, shape in v1_shapes.items():
+            assert isinstance(payload[key], shape), key
+        for count in ("reused", "computed", "quarantined", "retries",
+                      "timeouts", "degraded", "infra_pauses", "failed"):
+            assert isinstance(payload["counts"][count], int)
+        for key in ("rebuilds", "watchdog_kills", "final_mode"):
+            assert key in payload["pool"]
+
+    def test_describe_run_report_accepts_v1_payload(self):
+        """A v1 report (no scheduler/workers/leases keys) still renders."""
+        v1 = {"schema_version": 1,
+              "counts": {"computed": 3, "reused": 1, "failed": 0},
+              "pool": {"rebuilds": 0, "watchdog_kills": 0,
+                       "final_mode": "pool"},
+              "failure_classes": {}}
+        line = describe_run_report(v1)
+        assert "computed 3" in line and "reused 1" in line
+        assert "workers" not in line and "leases" not in line
+
+    def test_describe_run_report_renders_v2_fleet_fields(self):
+        v2 = {"schema_version": 2, "scheduler": "fleet",
+              "counts": {"computed": 4, "reused": 0, "failed": 0},
+              "pool": {"rebuilds": 0, "watchdog_kills": 0,
+                       "final_mode": "fleet"},
+              "workers": {"w1": {"tasks": 2}, "w2": {"tasks": 2}},
+              "leases": {"revoked": 3},
+              "failure_classes": {}}
+        line = describe_run_report(v2)
+        assert "workers 2" in line and "leases revoked 3" in line
 
     @settings(max_examples=15, deadline=None,
               suppress_health_check=[HealthCheck.function_scoped_fixture])
