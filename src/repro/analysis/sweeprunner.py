@@ -10,12 +10,20 @@ The grid knobs mirror the artifact's customization interface (A.6):
 ``mitigations`` (MITIGATION_LIST), ``nrh_values`` (NRH_VALUES), and the
 PaCRAM latency factors per vendor (latency_factor_vrr).
 
-Execution goes through :class:`repro.runtime.TaskPool`: grid points run as
+Execution and persistence go through the shared job layer
+(:class:`repro.service.execution.JobExecution`): grid points run as
 independent worker tasks (``jobs=N`` fans them across processes, ``jobs=1``
 runs the same code serially), rows are persisted atomically, corrupt rows
 found on resume are quarantined and re-run, and failing points are retried
 and ledgered instead of aborting the sweep.  Each point seeds its own
 simulation, so parallel results are bit-identical to serial ones.
+
+Like :class:`~repro.characterization.campaign.CharacterizationCampaign`,
+the runner is a *thin adapter*: result paths, resume, the ledger/report,
+scheduler fan-out, and the ``force`` contract all live in
+:class:`JobExecution` (one copy, shared), and a lint-style test keeps the
+execution plumbing from leaking back in here.  Only the domain stays:
+how to build one point's task, load a row back checked, and aggregate.
 """
 
 from __future__ import annotations
@@ -29,16 +37,9 @@ from pathlib import Path
 from repro.analysis.runner import pacram_reference_config, run_simulation
 from repro.errors import ConfigError, SimulationError
 from repro.exec import checked_kernel, default_policy, fallback_kernel
-from repro.runtime import (
-    LEDGER_NAME,
-    REPORT_NAME,
-    ProgressReporter,
-    Task,
-    TaskPool,
-    make_scheduler,
-)
-from repro.runtime.cache import clear_disk_tiers
+from repro.runtime import ProgressReporter, Task
 from repro.runtime.persist import write_atomic
+from repro.service.execution import JobExecution
 from repro.sim.config import SystemConfig
 
 
@@ -219,11 +220,14 @@ class SweepRunner:
 
     def __init__(self, results_dir: str | Path,
                  grid: SweepGrid | None = None) -> None:
-        self.results_dir = Path(results_dir)
         self.grid = grid or SweepGrid()
+        #: The shared job-layer plumbing: result paths, resume, the
+        #: ledger/report, scheduler fan-out, the ``force`` contract.
+        self.execution = JobExecution(results_dir)
+        self.results_dir = self.execution.results_dir
 
     def row_path(self, point: SweepPoint) -> Path:
-        return self.results_dir / f"{point.key}.json"
+        return self.execution.result_path(f"{point.key}.json")
 
     def cache_dir(self) -> Path:
         """Where the sweep's shared baseline cache persists."""
@@ -231,28 +235,18 @@ class SweepRunner:
 
     def ledger_path(self) -> Path:
         """Where the engine records failed attempts for this sweep."""
-        return self.results_dir / LEDGER_NAME
+        return self.execution.ledger_path()
 
     def report_path(self) -> Path:
         """Where the engine persists its end-of-run ``run_report.json``."""
-        return self.results_dir / REPORT_NAME
+        return self.execution.report_path()
 
     def status(self) -> tuple[int, int]:
         """(completed, total) — the check_run_status.py analogue."""
         points = self.grid.points()
-        done = sum(1 for p in points if self.row_path(p).exists())
+        done = sum(1 for p in points
+                   if self.execution.is_done(f"{p.key}.json"))
         return done, len(points)
-
-    def _pool(self, jobs: int | None, progress: ProgressReporter | None,
-              timeout_s: float | None = None, scheduler: str = "local",
-              workers: int | None = None,
-              serve: str | tuple[str, int] | None = None,
-              lease_batch: int | None = None) -> TaskPool:
-        return make_scheduler(scheduler, workers=workers, serve=serve,
-                              lease_batch=lease_batch,
-                              jobs=jobs, ledger_path=self.ledger_path(),
-                              report_path=self.report_path(),
-                              timeout_s=timeout_s, progress=progress)
 
     def _task(self, point: SweepPoint) -> Task:
         path = self.row_path(point)
@@ -276,18 +270,10 @@ class SweepRunner:
                           self.grid.check_protocol, kernel, cache_dir),
                     fallback_args=fallback_args)
 
-    def _clear_cache(self) -> None:
-        """Drop every persisted cache tier under the results directory
-        (``force=True``): a forced re-run must re-simulate, not replay
-        memoized results from any layer."""
-        clear_disk_tiers(self.results_dir)
-
     # ------------------------------------------------------------------
     def run_point(self, point: SweepPoint, *, force: bool = False) -> SweepRow:
-        if force:
-            self._clear_cache()
-        pool = self._pool(jobs=1, progress=None)
-        results = pool.run([self._task(point)], loader=load_row, force=force)
+        results = self.execution.run([self._task(point)], loader=load_row,
+                                     force=force)
         return results[point.key]
 
     def run(self, *, force: bool = False, jobs: int | None = 1,
@@ -310,15 +296,13 @@ class SweepRunner:
         and/or external ``repro-experiments worker`` clients connecting to
         ``serve`` — rows are byte-identical either way.
         """
-        if force:
-            self._clear_cache()
         points = self.grid.points()
-        pool = self._pool(jobs=jobs, progress=progress,
-                          timeout_s=task_timeout_s, scheduler=scheduler,
-                          workers=workers, serve=serve,
-                          lease_batch=lease_batch)
-        results = pool.run([self._task(p) for p in points],
-                           loader=load_row, force=force)
+        results = self.execution.run([self._task(p) for p in points],
+                                     loader=load_row, force=force,
+                                     jobs=jobs, progress=progress,
+                                     task_timeout_s=task_timeout_s,
+                                     scheduler=scheduler, workers=workers,
+                                     serve=serve, lease_batch=lease_batch)
         return [results[p.key] for p in points]
 
     # ------------------------------------------------------------------
@@ -350,3 +334,19 @@ class SweepRunner:
             series = out.setdefault((row.mitigation, label), {})
             series[row.nrh] = row.mean_ipc / base
         return out
+
+
+def render_aggregate(aggregate: dict[tuple[str, str], dict[int, float]],
+                     ) -> str:
+    """Fig. 17's text rendering: one line per (mitigation, config) series.
+
+    The single source of the format — the ``sweep`` CLI prints this and
+    the service's on-demand ``figure`` verb returns it, so both paths are
+    byte-identical by construction.
+    """
+    lines = []
+    for (mitigation, label), series in aggregate.items():
+        values = " ".join(f"nrh={n}:{v:.4f}"
+                          for n, v in sorted(series.items()))
+        lines.append(f"{mitigation:<9} {label:<9} {values}")
+    return "\n".join(lines)

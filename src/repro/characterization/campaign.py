@@ -6,18 +6,25 @@ the simulated platform: run a multi-module campaign once, persist every
 module's measurements as JSON under a results directory, and reload them
 for analysis without re-running.
 
-Execution and persistence go through :class:`repro.runtime.TaskPool`:
-modules run as independent worker tasks (``jobs=N`` in parallel; ``jobs=1``
-is the same code run serially), results are written atomically, corrupt
-files found on resume are quarantined and re-run, and transient failures
-are retried and ledgered instead of killing the campaign.  Because each
-module's measurements derive only from the campaign seed, parallel runs
-are bit-identical to serial ones.
+Execution and persistence go through the shared job layer
+(:class:`repro.service.execution.JobExecution`): modules run as
+independent worker tasks (``jobs=N`` in parallel; ``jobs=1`` is the same
+code run serially), results are written atomically, corrupt files found
+on resume are quarantined and re-run, and transient failures are retried
+and ledgered instead of killing the campaign.  Because each module's
+measurements derive only from the campaign seed, parallel runs are
+bit-identical to serial ones.
+
+This class is deliberately a *thin adapter*: everything about running —
+result paths, resume, the ledger/report, scheduler fan-out, the
+``force`` contract — lives in :class:`JobExecution` (one copy, shared
+with :class:`~repro.analysis.sweeprunner.SweepRunner`), and a lint-style
+test keeps the execution plumbing from leaking back in here.  Only the
+domain stays: how to build one module's task and load it back checked.
 """
 
 from __future__ import annotations
 
-import json
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -32,16 +39,8 @@ from repro.exec import (
     fallback_kernel,
     validate_stage_kernel,
 )
-from repro.runtime import (
-    LEDGER_NAME,
-    REPORT_NAME,
-    ProgressReporter,
-    Task,
-    TaskPool,
-    describe_run_report,
-    make_scheduler,
-)
-from repro.runtime.cache import clear_disk_tiers, summarize_caches
+from repro.runtime import ProgressReporter, Task
+from repro.service.execution import JobExecution
 from repro.validation.physics import model_digest
 
 
@@ -90,7 +89,7 @@ def _load_checked(path: str | Path) -> ModuleCharacterization:
     """Load a persisted result and verify its model digest.
 
     A mismatch means the device model (or its calibration) changed since
-    the result was produced; raising lets :class:`repro.runtime.TaskPool`
+    the result was produced; raising lets the runtime scheduler
     quarantine the stale file and re-run the module, so a resumed campaign
     can never silently mix measurements from two different models.  Results
     persisted before digests existed (``model_digest is None``) pass.
@@ -111,38 +110,29 @@ class CharacterizationCampaign:
 
     def __init__(self, results_dir: str | Path,
                  config: CampaignConfig | None = None) -> None:
-        self.results_dir = Path(results_dir)
         self.config = config or CampaignConfig()
+        #: The shared job-layer plumbing: result paths, resume, the
+        #: ledger/report, scheduler fan-out, the ``force`` contract.
+        self.execution = JobExecution(results_dir, seed=self.config.seed)
+        self.results_dir = self.execution.results_dir
 
     # ------------------------------------------------------------------
     def result_path(self, module_id: str) -> Path:
-        return self.results_dir / f"{module_id}.json"
+        return self.execution.result_path(f"{module_id}.json")
 
     def is_done(self, module_id: str) -> bool:
-        return self.result_path(module_id).exists()
+        return self.execution.is_done(f"{module_id}.json")
 
     def pending_modules(self) -> tuple[str, ...]:
         return tuple(m for m in self.config.module_ids if not self.is_done(m))
 
     def ledger_path(self) -> Path:
         """Where the engine records failed attempts for this campaign."""
-        return self.results_dir / LEDGER_NAME
+        return self.execution.ledger_path()
 
     def report_path(self) -> Path:
         """Where the engine persists its end-of-run ``run_report.json``."""
-        return self.results_dir / REPORT_NAME
-
-    def _pool(self, jobs: int | None, progress: ProgressReporter | None,
-              timeout_s: float | None = None, scheduler: str = "local",
-              workers: int | None = None,
-              serve: str | tuple[str, int] | None = None,
-              lease_batch: int | None = None) -> TaskPool:
-        return make_scheduler(scheduler, workers=workers, serve=serve,
-                              lease_batch=lease_batch,
-                              jobs=jobs, ledger_path=self.ledger_path(),
-                              report_path=self.report_path(),
-                              timeout_s=timeout_s, seed=self.config.seed,
-                              progress=progress)
+        return self.execution.report_path()
 
     def cache_dir(self) -> Path:
         """Where the scalar kernel's probe cache persists its entries."""
@@ -176,11 +166,8 @@ class CharacterizationCampaign:
         if module_id not in self.config.module_ids:
             raise CharacterizationError(
                 f"{module_id} is not part of this campaign")
-        if force:
-            clear_disk_tiers(self.results_dir)
-        pool = self._pool(jobs=1, progress=None)
-        results = pool.run([self._task(module_id)],
-                           loader=_load_checked, force=force)
+        results = self.execution.run([self._task(module_id)],
+                                     loader=_load_checked, force=force)
         return results[module_id]
 
     def run(self, *, force: bool = False, jobs: int | None = 1,
@@ -206,15 +193,13 @@ class CharacterizationCampaign:
         and/or external ``repro-experiments worker`` clients connecting to
         ``serve`` — results are byte-identical either way.
         """
-        if force:
-            clear_disk_tiers(self.results_dir)
-        pool = self._pool(jobs=jobs, progress=progress,
-                          timeout_s=task_timeout_s, scheduler=scheduler,
-                          workers=workers, serve=serve,
-                          lease_batch=lease_batch)
         tasks = [self._task(module_id)
                  for module_id in self.config.module_ids]
-        return pool.run(tasks, loader=_load_checked, force=force)
+        return self.execution.run(tasks, loader=_load_checked, force=force,
+                                  jobs=jobs, progress=progress,
+                                  task_timeout_s=task_timeout_s,
+                                  scheduler=scheduler, workers=workers,
+                                  serve=serve, lease_batch=lease_batch)
 
     def load(self) -> dict[str, ModuleCharacterization]:
         """Load a completed campaign's results without running anything."""
@@ -234,12 +219,8 @@ class CharacterizationCampaign:
         pending = self.pending_modules()
         if pending:
             lines.append("pending: " + ", ".join(pending))
-        report = self.report_path()
-        if report.exists():
-            try:
-                lines.append(describe_run_report(
-                    json.loads(report.read_text())))
-            except (OSError, ValueError):
-                pass  # a torn report must not break the status command
-        lines.append(summarize_caches(self.results_dir))
+        described = self.execution.describe_report()
+        if described is not None:
+            lines.append(described)
+        lines.append(self.execution.describe_caches())
         return "\n".join(lines)

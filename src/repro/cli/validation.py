@@ -1,0 +1,83 @@
+"""The ``validate`` and ``chaos`` subcommands."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import tempfile
+
+from repro.dram.catalog import all_module_ids
+from repro.validation import check_physics
+
+
+def cmd_validate(args: argparse.Namespace) -> int:
+    from repro.validation.matrix import run_matrix
+    failures = 0
+    module_ids = (tuple(args.modules.split(","))
+                  if args.modules else all_module_ids())
+    for module_id in module_ids:
+        problems = check_physics(module_id, mode="tolerant")
+        for problem in problems:
+            print(f"physics: {problem}", file=sys.stderr)
+        failures += len(problems)
+    print(f"physics invariants: {len(module_ids)} module(s) checked, "
+          f"{failures} problem(s)")
+    if args.skip_faults:
+        return 1 if failures else 0
+    if args.dir:
+        report = run_matrix(args.dir, seed=args.seed)
+    else:
+        with tempfile.TemporaryDirectory(prefix="repro-validate-") as workdir:
+            report = run_matrix(workdir, seed=args.seed)
+    print(report.summary())
+    if args.out:
+        report.save(args.out)
+        print(f"wrote {args.out}")
+    return 0 if report.all_covered and not failures else 1
+
+
+def cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.validation.chaos import run_chaos_matrix
+    if args.dir:
+        report = run_chaos_matrix(args.dir, seed=args.seed, only=args.only)
+    else:
+        with tempfile.TemporaryDirectory(prefix="repro-chaos-") as workdir:
+            report = run_chaos_matrix(workdir, seed=args.seed,
+                                      only=args.only)
+    print(report.summary())
+    if args.out:
+        report.save(args.out)
+        print(f"wrote {args.out}")
+    return 0 if report.all_covered else 1
+
+
+def register(subparsers) -> None:
+    validate_parser = subparsers.add_parser(
+        "validate", help="run physics guards and the fault-injection matrix")
+    validate_parser.add_argument("--modules",
+                                 help="comma-separated module ids for the "
+                                      "physics guards (default: all 30)")
+    validate_parser.add_argument("--seed", type=int, default=2025,
+                                 help="fault-matrix seed")
+    validate_parser.add_argument("--dir",
+                                 help="keep fault-scenario artifacts here "
+                                      "(default: a temporary directory)")
+    validate_parser.add_argument("--out",
+                                 help="write the matrix report JSON here")
+    validate_parser.add_argument("--skip-faults", action="store_true",
+                                 help="physics guards only")
+    validate_parser.set_defaults(func=cmd_validate)
+
+    chaos_parser = subparsers.add_parser(
+        "chaos", help="run the deterministic runtime chaos matrix")
+    chaos_parser.add_argument("--seed", type=int, default=2025,
+                              help="chaos-scenario seed")
+    chaos_parser.add_argument("--only",
+                              help="run only scenarios whose name contains "
+                                   "this substring (e.g. 'fleet')")
+    chaos_parser.add_argument("--dir",
+                              help="keep chaos-scenario artifacts here "
+                                   "(default: a temporary directory)")
+    chaos_parser.add_argument("--out",
+                              help="write the chaos report JSON here")
+    chaos_parser.set_defaults(func=cmd_chaos)

@@ -71,6 +71,7 @@ from repro.runtime.wire import (
     PROTOCOL_VERSION,
     FrameError,
     callable_ref,
+    connect_with_retry,
     decode_value,
     encode_value,
     intern_args,
@@ -177,15 +178,17 @@ def run_worker(host: str, port: int, *, worker_id: str | None = None,
     away first (the run may simply have finished while this worker was
     idle — the coordinator closes every connection when it is done).
     ``scratch_dir`` overrides the temporary scratch root (kept if given,
-    deleted otherwise).
+    deleted otherwise).  Connecting retries with bounded exponential
+    backoff for up to ``connect_timeout_s`` (a worker started moments
+    before its coordinator must not die on the race), then raises
+    :class:`~repro.errors.ConfigError` instead of hanging.
     """
     worker_id = worker_id or f"w-{socket.gethostname()}-{os.getpid()}"
     own_scratch = scratch_dir is None
     scratch_root = Path(scratch_dir) if scratch_dir is not None \
         else Path(tempfile.mkdtemp(prefix="repro-worker-"))
     scratch_root.mkdir(parents=True, exist_ok=True)
-    sock = socket.create_connection((host, port), timeout=connect_timeout_s)
-    sock.settimeout(None)
+    sock = connect_with_retry(host, port, timeout_s=connect_timeout_s)
     blobs: dict[str, Any] = {}
     try:
         send_frame(sock, {"type": "hello", "worker": worker_id,
@@ -319,16 +322,19 @@ class _FleetRun:
         address = self.p.serve or ("127.0.0.1", 0)
         self._server = socket.create_server(address)
         self.p.bound_address = self._server.getsockname()[:2]
-        # Spawn loopback workers BEFORE starting any thread: forking a
-        # multi-threaded parent can deadlock the child on inherited lock
-        # state.  The workers connect immediately and block in the listen
-        # backlog until the accept loop starts.
-        self._spawn_workers()
-        accept = threading.Thread(target=self._accept_loop, daemon=True,
-                                  name="fleet-accept")
-        accept.start()
-        self.p.serving.set()
+        # Everything past the listener — including spawning — runs under
+        # the shutdown guarantee: a Ctrl-C or crash anywhere below must
+        # never orphan a spawned worker or leave a lease connection open.
         try:
+            # Spawn loopback workers BEFORE starting any thread: forking
+            # a multi-threaded parent can deadlock the child on inherited
+            # lock state.  The workers connect immediately and block in
+            # the listen backlog until the accept loop starts.
+            self._spawn_workers()
+            accept = threading.Thread(target=self._accept_loop, daemon=True,
+                                      name="fleet-accept")
+            accept.start()
+            self.p.serving.set()
             with self.cond:
                 while self.outstanding:
                     self._revoke_overdue()
@@ -383,6 +389,16 @@ class _FleetRun:
         self.outstanding.clear()
 
     def _shutdown(self) -> None:
+        """Tear the fleet down without orphans, however the run ended.
+
+        Remote leases first: half-closing every connection unblocks a
+        worker parked in ``recv`` so it exits on its own (external
+        workers see "coordinator gone" and return cleanly).  Spawned
+        loopback workers then get one short grace period *collectively*,
+        and stragglers are escalated SIGTERM -> join -> SIGKILL — an
+        interrupted coordinator (Ctrl-C mid-sweep) must never leave live
+        children behind.
+        """
         with self.lock:
             self.closing = True
             server, self._server = self._server, None
@@ -394,14 +410,22 @@ class _FleetRun:
                 pass
         for conn in conns:
             try:
+                conn.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
                 conn.close()
             except OSError:
                 pass
+        deadline = time.monotonic() + 0.5
         for proc in self._procs:
-            proc.join(timeout=2.0)
+            proc.join(timeout=max(0.0, deadline - time.monotonic()))
+        for proc in self._procs:
             if proc.is_alive():
-                proc.terminate()
-                proc.join(timeout=1.0)
+                proc.terminate()  # SIGTERM: let multiprocessing clean up
+        for proc in self._procs:
+            if proc.is_alive():
+                proc.join(timeout=2.0)
             if proc.is_alive():
                 proc.kill()
                 proc.join(timeout=1.0)

@@ -44,6 +44,7 @@ import importlib
 import json
 import socket
 import struct
+import time
 import zlib
 from pathlib import Path
 from typing import Any
@@ -55,6 +56,7 @@ __all__ = [
     "BLOB_MIN",
     "PROTOCOL_VERSION",
     "FrameError",
+    "connect_with_retry",
     "send_frame",
     "recv_frame",
     "encode_value",
@@ -95,6 +97,53 @@ _TAGS = frozenset({_TAG_TUPLE, _TAG_DATACLASS, _TAG_PATH, _TAG_TASK_PATH,
 
 class FrameError(ConfigError):
     """A frame violated the protocol (bad length, bad JSON, bad shape)."""
+
+
+# ---------------------------------------------------------------------------
+# connections
+# ---------------------------------------------------------------------------
+def connect_with_retry(host: str, port: int, *, timeout_s: float = 10.0,
+                       base_delay_s: float = 0.05,
+                       max_delay_s: float = 1.0,
+                       sleep=time.sleep,
+                       clock=time.monotonic) -> socket.socket:
+    """Connect to ``host:port``, retrying with exponential backoff.
+
+    Workers and service clients often start before the coordinator or
+    ``serve-api`` endpoint has bound its socket; a single connect attempt
+    turns that ordering race into a hard failure (or, with a long socket
+    timeout, an opaque hang).  This retries refused/unreachable connects
+    with doubling delays (``base_delay_s`` up to ``max_delay_s``) until
+    ``timeout_s`` has elapsed, then raises a :class:`ConfigError` naming
+    the address, the budget, and the last underlying error — never an
+    indefinite hang.  The returned socket is in blocking mode.
+    """
+    if timeout_s <= 0:
+        raise ConfigError(f"timeout_s must be positive, got {timeout_s}")
+    deadline = clock() + timeout_s
+    attempt = 0
+    last_error: OSError | None = None
+    while True:
+        remaining = deadline - clock()
+        if remaining <= 0:
+            break
+        attempt += 1
+        try:
+            sock = socket.create_connection((host, port),
+                                            timeout=max(remaining, 0.01))
+            sock.settimeout(None)
+            return sock
+        except OSError as error:
+            last_error = error
+        remaining = deadline - clock()
+        if remaining <= 0:
+            break
+        delay = min(base_delay_s * (2 ** (attempt - 1)), max_delay_s,
+                    remaining)
+        sleep(delay)
+    raise ConfigError(
+        f"could not connect to {host}:{port} within {timeout_s:g}s "
+        f"({attempt} attempt(s); last error: {last_error})")
 
 
 # ---------------------------------------------------------------------------

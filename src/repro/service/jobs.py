@@ -1,0 +1,297 @@
+"""Job identity and durable job state: :class:`JobSpec` + :class:`JobStore`.
+
+A job is *what to compute* — a kind (``campaign`` | ``sweep``) plus the
+config dataclass that fully determines its results.  Identity is content:
+the spec is wire-encoded (:func:`repro.runtime.wire.encode_value`),
+canonicalized, and digested exactly like a
+:class:`~repro.runtime.cache.DigestCache` key or a fleet blob, so two
+users submitting the same config get the same job id and share one
+result namespace — dedup falls out of addressing, not bookkeeping.
+
+The store gives each job a directory under its root::
+
+    <root>/<job_id>/job.json        # record: state machine + history
+    <root>/<job_id>/events.jsonl    # live progress events (stream verb)
+    <root>/<job_id>/results/        # the orchestrator's results_dir
+
+State transitions (``queued -> running -> done | failed``, plus the
+requeue edges ``failed -> queued`` for retries and ``running -> queued``
+for jobs orphaned by a crashed runner) are validated and persisted with
+:func:`~repro.runtime.persist.write_atomic` — a torn ``job.json`` is
+impossible by construction, and ``done`` is terminal.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro.errors import ConfigError
+from repro.runtime.persist import write_atomic
+from repro.runtime.wire import (
+    blob_digest,
+    canonical_blob,
+    decode_value,
+    encode_value,
+)
+
+__all__ = [
+    "DONE",
+    "FAILED",
+    "JOB_KINDS",
+    "JOB_STATES",
+    "QUEUED",
+    "RUNNING",
+    "JobRecord",
+    "JobSpec",
+    "JobStateError",
+    "JobStore",
+]
+
+#: Every job kind the service can run.
+JOB_KINDS = ("campaign", "sweep")
+
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+
+#: Every job state, in lifecycle order.
+JOB_STATES = (QUEUED, RUNNING, DONE, FAILED)
+
+#: Legal state transitions.  ``done`` is terminal; ``running -> queued``
+#: covers a job orphaned by a crashed runner (resubmission resumes it),
+#: ``failed -> queued`` a retry of a failed one.
+_TRANSITIONS = {
+    QUEUED: {RUNNING},
+    RUNNING: {DONE, FAILED, QUEUED},
+    FAILED: {QUEUED},
+    DONE: frozenset(),
+}
+
+#: Dataclasses a wire-submitted spec may instantiate.  The service
+#: decodes *client* payloads, the inverse trust direction of the fleet
+#: (where workers trust their coordinator) — so the tagged-dataclass
+#: codec is allow-listed here instead of importing whatever the frame
+#: names.
+_ALLOWED_SPEC_TYPES = frozenset({
+    "repro.characterization.campaign:CampaignConfig",
+    "repro.analysis.sweeprunner:SweepGrid",
+})
+
+#: Wire-codec tags that have no business inside a job spec.
+_FORBIDDEN_SPEC_TAGS = ("__blob", "__task_path", "__p")
+
+_JOB_ID_RE = re.compile(r"[0-9a-f]{16}\Z")
+
+RECORD_NAME = "job.json"
+EVENTS_NAME = "events.jsonl"
+RESULTS_DIRNAME = "results"
+
+
+class JobStateError(ConfigError):
+    """An illegal job-state transition was requested."""
+
+
+def validate_job_id(job_id: str) -> str:
+    """Job ids are 16 hex chars (a blob digest); anything else — including
+    path metacharacters from a hostile client — is rejected before it can
+    touch the filesystem."""
+    if not isinstance(job_id, str) or not _JOB_ID_RE.fullmatch(job_id):
+        raise ConfigError(f"malformed job id {job_id!r}")
+    return job_id
+
+
+def _check_spec_payload(payload: Any, *, where: str = "config") -> None:
+    """Reject spec payloads that name un-allow-listed dataclasses or carry
+    execution-context tags (blobs, task paths, filesystem paths)."""
+    if isinstance(payload, list):
+        for item in payload:
+            _check_spec_payload(item, where=where)
+        return
+    if not isinstance(payload, dict):
+        return
+    for tag in _FORBIDDEN_SPEC_TAGS:
+        if tag in payload:
+            raise ConfigError(
+                f"job spec {where} may not carry the {tag!r} wire tag")
+    ref = payload.get("__dc")
+    if ref is not None and ref not in _ALLOWED_SPEC_TYPES:
+        raise ConfigError(
+            f"job spec {where} names disallowed type {ref!r}; allowed: "
+            f"{sorted(_ALLOWED_SPEC_TYPES)}")
+    for value in payload.values():
+        _check_spec_payload(value, where=where)
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """What one job computes: a kind plus its config dataclass."""
+
+    kind: str
+    config: Any
+
+    def __post_init__(self) -> None:
+        if self.kind not in JOB_KINDS:
+            raise ConfigError(
+                f"job kind must be one of {JOB_KINDS}, got {self.kind!r}")
+
+    def encoded(self) -> dict:
+        """Wire-safe payload (what ships in a ``submit`` frame and what
+        the job id digests)."""
+        return {"kind": self.kind, "config": encode_value(self.config)}
+
+    @property
+    def job_id(self) -> str:
+        """Content digest of the canonical encoded spec — the same
+        canonical-JSON + sha256[:16] scheme that keys the digest caches,
+        so identical submissions address the same job."""
+        return blob_digest(canonical_blob(self.encoded()))
+
+    @classmethod
+    def decode(cls, payload: Any) -> "JobSpec":
+        """Rebuild a spec from its encoded payload (allow-list enforced)."""
+        if not isinstance(payload, dict) or "kind" not in payload \
+                or "config" not in payload:
+            raise ConfigError(
+                "job spec payload must be {'kind': ..., 'config': ...}")
+        _check_spec_payload(payload["config"])
+        return cls(kind=payload["kind"],
+                   config=decode_value(payload["config"]))
+
+
+@dataclass
+class JobRecord:
+    """One job's durable state (the contents of ``job.json``)."""
+
+    job_id: str
+    kind: str
+    spec: dict  #: encoded :class:`JobSpec` payload
+    state: str = QUEUED
+    created_at: float = 0.0
+    updated_at: float = 0.0
+    error: str | None = None
+    #: ``[state, unix_time]`` pairs, every transition ever taken.
+    history: list = field(default_factory=list)
+
+    def to_json(self) -> dict:
+        return {"job_id": self.job_id, "kind": self.kind, "spec": self.spec,
+                "state": self.state, "created_at": self.created_at,
+                "updated_at": self.updated_at, "error": self.error,
+                "history": self.history}
+
+    @classmethod
+    def from_json(cls, raw: dict) -> "JobRecord":
+        try:
+            return cls(job_id=raw["job_id"], kind=raw["kind"],
+                       spec=raw["spec"], state=raw["state"],
+                       created_at=raw["created_at"],
+                       updated_at=raw["updated_at"],
+                       error=raw.get("error"),
+                       history=list(raw.get("history") or []))
+        except (KeyError, TypeError) as error:
+            raise ConfigError(f"corrupt job record: {error}") from error
+
+    def spec_obj(self) -> JobSpec:
+        return JobSpec.decode(self.spec)
+
+
+class JobStore:
+    """Durable per-job namespaces under one root directory."""
+
+    def __init__(self, root: str | Path,
+                 clock=time.time) -> None:
+        self.root = Path(root)
+        self.clock = clock
+
+    # ------------------------------------------------------------------
+    # namespace layout
+    # ------------------------------------------------------------------
+    def namespace(self, job_id: str) -> Path:
+        return self.root / validate_job_id(job_id)
+
+    def record_path(self, job_id: str) -> Path:
+        return self.namespace(job_id) / RECORD_NAME
+
+    def events_path(self, job_id: str) -> Path:
+        return self.namespace(job_id) / EVENTS_NAME
+
+    def results_dir(self, job_id: str) -> Path:
+        return self.namespace(job_id) / RESULTS_DIRNAME
+
+    def exists(self, job_id: str) -> bool:
+        return self.record_path(job_id).exists()
+
+    def list_ids(self) -> tuple[str, ...]:
+        if not self.root.is_dir():
+            return ()
+        return tuple(sorted(
+            p.name for p in self.root.iterdir()
+            if _JOB_ID_RE.fullmatch(p.name) and (p / RECORD_NAME).exists()))
+
+    # ------------------------------------------------------------------
+    # records
+    # ------------------------------------------------------------------
+    def submit(self, spec: JobSpec) -> tuple[JobRecord, bool]:
+        """Create (or dedup to) the job ``spec`` addresses.
+
+        Returns ``(record, created)``: an identical earlier submission —
+        same content digest — yields its existing record with
+        ``created=False`` and writes nothing.
+        """
+        job_id = spec.job_id
+        if self.exists(job_id):
+            return self.load(job_id), False
+        now = self.clock()
+        record = JobRecord(job_id=job_id, kind=spec.kind,
+                           spec=spec.encoded(), state=QUEUED,
+                           created_at=now, updated_at=now,
+                           history=[[QUEUED, now]])
+        self._persist(record)
+        return record, True
+
+    def load(self, job_id: str) -> JobRecord:
+        path = self.record_path(job_id)
+        if not path.exists():
+            raise ConfigError(f"unknown job {job_id!r}")
+        try:
+            raw = json.loads(path.read_text())
+        except (OSError, ValueError) as error:
+            raise ConfigError(
+                f"unreadable job record {path}: {error}") from error
+        record = JobRecord.from_json(raw)
+        if record.job_id != job_id:
+            raise ConfigError(
+                f"job record {path} claims id {record.job_id!r}")
+        return record
+
+    def transition(self, job_id: str, new_state: str, *,
+                   error: str | None = None) -> JobRecord:
+        """Atomically move a job to ``new_state`` (state machine enforced).
+
+        ``error`` is recorded on ``failed`` transitions and cleared on
+        every other one.
+        """
+        if new_state not in JOB_STATES:
+            raise ConfigError(
+                f"job state must be one of {JOB_STATES}, got {new_state!r}")
+        record = self.load(job_id)
+        allowed = _TRANSITIONS[record.state]
+        if new_state not in allowed:
+            raise JobStateError(
+                f"job {job_id} cannot go {record.state} -> {new_state} "
+                f"(allowed: {sorted(allowed) or 'none — terminal state'})")
+        record.state = new_state
+        record.updated_at = self.clock()
+        record.error = error if new_state == FAILED else None
+        record.history.append([new_state, record.updated_at])
+        self._persist(record)
+        return record
+
+    def _persist(self, record: JobRecord) -> None:
+        write_atomic(self.record_path(record.job_id),
+                     json.dumps(record.to_json(), indent=1, sort_keys=True))

@@ -467,7 +467,7 @@ class DegradedKernelCampaign(_ChaosScenario):
                                 per_region=2, kernel="array")
         faulted = CharacterizationCampaign(workdir / "faulted", config)
         task = replace(faulted._task("S6"), fn=_faulty_characterize)
-        pool = faulted._pool(jobs=1, progress=None)
+        pool = faulted.execution.scheduler(jobs=1, progress=None)
         results = pool.run([task], loader=_load_checked)
         report = pool.last_report
         # Reference: the same campaign on the oracle kernel throughout
@@ -588,6 +588,50 @@ class FleetSlowWorkerLease(_ChaosScenario):
         return self._result(ABSORBED if ok else MISSED, evidence)
 
 
+class ServiceJobCrashResume(_ChaosScenario):
+    name = "service-job-crash-resume"
+    expected = ABSORBED
+    description = ("a service runner crashes mid-job, leaving the record "
+                   "orphaned in `running` with half its rows on disk; the "
+                   "next run resumes it, recomputes only what is missing, "
+                   "and finishes byte-identical to an uninterrupted job")
+
+    def run(self, workdir: Path, seed: int) -> FaultResult:
+        from repro.analysis.sweeprunner import SweepGrid, SweepRunner
+        from repro.service import DONE, RUNNING, JobManager, JobSpec
+
+        grid = SweepGrid(mitigations=("PARA",), nrh_values=(64,),
+                         pacram_vendors=(None, "H"),
+                         workload_sets=(("spec06.mcf",),), requests=200)
+        points = grid.points()
+        reference = SweepRunner(workdir / "reference", grid)
+        reference.run(jobs=1)
+        expected = {
+            path.name: path.read_bytes()
+            for path in sorted((workdir / "reference").glob("*.json"))
+            if path.name != REPORT_NAME}
+
+        manager = JobManager(workdir / "jobs")
+        record, _ = manager.submit(JobSpec("sweep", grid))
+        # The crash: one point's row made it to disk, then the runner
+        # died — the record stays claimed in ``running`` forever.
+        survivor = points[self.poison_index(seed) % len(points)]
+        partial = SweepRunner(manager.store.results_dir(record.job_id),
+                              grid)
+        partial.run_point(survivor)
+        manager.store.transition(record.job_id, RUNNING)
+        stamp = partial.row_path(survivor).stat().st_mtime_ns
+
+        final = manager.run(record.job_id)
+        reused = partial.row_path(survivor).stat().st_mtime_ns == stamp
+        identical = manager.result_files(record.job_id) == expected
+        ok = final.state == DONE and reused and identical
+        evidence = (f"resumed to state={final.state}, "
+                    f"survivor-row-reused={reused}, "
+                    f"byte-identical={identical}")
+        return self._result(ABSORBED if ok else MISSED, evidence)
+
+
 #: Every chaos scenario, in a stable order.
 ALL_CHAOS: tuple[FaultScenario, ...] = (
     WorkerSigkillRecovered(),
@@ -601,6 +645,7 @@ ALL_CHAOS: tuple[FaultScenario, ...] = (
     FleetWorkerSigkill(),
     FleetWorkerVanishedResult(),
     FleetSlowWorkerLease(),
+    ServiceJobCrashResume(),
 )
 
 

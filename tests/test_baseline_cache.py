@@ -177,5 +177,5 @@ class TestSweepIntegration:
         runner = SweepRunner(tmp_path / "sweep", grid)
         runner.run(jobs=1)
         assert list(runner.cache_dir().glob("baseline_*.json"))
-        runner._clear_cache()
+        runner.execution.clear_caches()
         assert not list(runner.cache_dir().glob("baseline_*.json"))

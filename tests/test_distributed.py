@@ -1,9 +1,11 @@
 """Tests for the fleet scheduler: wire protocol, codec, coordinator."""
 
 import json
+import os
 import pickle
 import socket
 import threading
+from pathlib import Path
 
 import pytest
 
@@ -399,3 +401,140 @@ class _FakeRun:
     def spec(self, task):
         from repro.runtime.distributed import _FleetRun
         return _FleetRun.__dict__["_spec"](self, task, 1)
+
+
+class TestConnectRetry:
+    """Bounded, backing-off connects for workers and job clients."""
+
+    def test_gives_up_with_clear_error(self):
+        from repro.runtime.wire import connect_with_retry
+        # Bind-without-listen: connects are refused deterministically.
+        closed = socket.socket()
+        closed.bind(("127.0.0.1", 0))
+        port = closed.getsockname()[1]
+        try:
+            with pytest.raises(ConfigError, match="could not connect"):
+                connect_with_retry("127.0.0.1", port, timeout_s=0.3)
+        finally:
+            closed.close()
+
+    def test_rejects_nonpositive_timeout(self):
+        from repro.runtime.wire import connect_with_retry
+        with pytest.raises(ConfigError, match="timeout"):
+            connect_with_retry("127.0.0.1", 1, timeout_s=0)
+
+    def test_survives_a_late_listener(self):
+        """The startup race: a worker launched moments before its
+        coordinator must retry into the listen window, not die."""
+        from repro.runtime.wire import connect_with_retry
+        server = socket.socket()
+        server.bind(("127.0.0.1", 0))
+        port = server.getsockname()[1]
+
+        def listen_late():
+            import time as _time
+            _time.sleep(0.3)
+            server.listen(1)
+
+        opener = threading.Thread(target=listen_late)
+        opener.start()
+        try:
+            sock = connect_with_retry("127.0.0.1", port, timeout_s=10.0)
+            sock.close()
+        finally:
+            opener.join()
+            server.close()
+
+    def test_worker_fails_fast_on_dead_coordinator(self):
+        closed = socket.socket()
+        closed.bind(("127.0.0.1", 0))
+        port = closed.getsockname()[1]
+        try:
+            with pytest.raises(ConfigError, match="could not connect"):
+                run_worker("127.0.0.1", port, connect_timeout_s=0.3)
+        finally:
+            closed.close()
+
+
+_INTERRUPT_SCRIPT = """\
+import os
+import sys
+import time
+from pathlib import Path
+
+from repro.runtime import Task, make_scheduler
+
+
+def slow_task(n, pid_dir, path):
+    Path(pid_dir, f"pid-{os.getpid()}").write_text(str(os.getpid()))
+    time.sleep(60)
+
+
+def load(path):
+    return 1
+
+
+if __name__ == "__main__":
+    out = Path(sys.argv[1])
+    pid_dir = out / "pids"
+    pid_dir.mkdir(parents=True, exist_ok=True)
+    tasks = [Task(key=f"p{n}", path=out / f"p{n}.json", fn=slow_task,
+                  args=(n, str(pid_dir), str(out / f"p{n}.json")))
+             for n in range(4)]
+    pool = make_scheduler("fleet", workers=2, lease_batch=1,
+                          report_path=out / "run_report.json")
+    pool.run(tasks, loader=load)
+"""
+
+
+class TestFleetShutdown:
+    def test_interrupt_leaves_no_surviving_workers(self, tmp_path):
+        """Regression: Ctrl-C mid-fleet-run must SIGTERM-and-join the
+        spawned loopback workers, not orphan them mid-task."""
+        import signal
+        import subprocess
+        import sys
+        import time
+
+        script = tmp_path / "fleet_run.py"
+        script.write_text(_INTERRUPT_SCRIPT)
+        out = tmp_path / "out"
+        pid_dir = out / "pids"
+        env = dict(os.environ)
+        root = Path(__file__).resolve().parent.parent
+        env["PYTHONPATH"] = os.pathsep.join(
+            filter(None, [str(root / "src"), env.get("PYTHONPATH")]))
+        proc = subprocess.Popen(
+            [sys.executable, str(script), str(out)], env=env,
+            stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL)
+        try:
+            # Both workers are live and parked inside a leased task once
+            # their pid files appear (lease_batch=1 spreads the tasks).
+            deadline = time.monotonic() + 30.0
+            while time.monotonic() < deadline:
+                if len(list(pid_dir.glob("pid-*"))) >= 2:
+                    break
+                assert proc.poll() is None, "coordinator died prematurely"
+                time.sleep(0.05)
+            pids = [int(p.name.split("-")[1])
+                    for p in pid_dir.glob("pid-*")]
+            assert len(pids) >= 2
+            proc.send_signal(signal.SIGINT)
+            proc.wait(timeout=30.0)
+            deadline = time.monotonic() + 10.0
+            while time.monotonic() < deadline:
+                alive = []
+                for pid in pids:
+                    try:
+                        os.kill(pid, 0)
+                        alive.append(pid)
+                    except ProcessLookupError:
+                        pass
+                if not alive:
+                    break
+                time.sleep(0.05)
+            assert not alive, f"workers survived the interrupt: {alive}"
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=10.0)

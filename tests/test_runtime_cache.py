@@ -386,7 +386,7 @@ class TestForceClearsProbeTier:
         runner.run(jobs=1)
         assert list(runner.cache_dir().glob("baseline_*.json"))
         assert list(probe_dir.glob("probe_*.json"))
-        runner._clear_cache()
+        runner.execution.clear_caches()
         assert not list(runner.cache_dir().glob("baseline_*.json"))
         assert not list(probe_dir.glob("probe_*.json"))
 
